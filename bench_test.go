@@ -1,0 +1,403 @@
+package lfo
+
+// Benchmark harness: one testing.B benchmark per figure of the paper's
+// evaluation (regenerating its rows/series), plus ablation benches for the
+// design choices called out in DESIGN.md and micro-benchmarks of the hot
+// paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches print their tables once (on the first iteration) so
+// `go test -bench` output doubles as the experiment record; lfobench runs
+// the same harness at larger scales.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lfo/internal/experiments"
+	"lfo/internal/features"
+	"lfo/internal/gbdt"
+	"lfo/internal/mrc"
+	"lfo/internal/opt"
+	"lfo/internal/policy"
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+// benchCfg is the shared experiment scale for benchmarks: large enough to
+// be representative, small enough for -bench runs.
+func benchCfg() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Requests = 30000
+	cfg.Window = 10000
+	return cfg
+}
+
+var printOnce sync.Map
+
+// printTable prints a table once per benchmark name.
+func printTable(b *testing.B, t fmt.Stringer) {
+	if _, loaded := printOnce.LoadOrStore(b.Name(), true); !loaded {
+		b.Logf("\n%s", t)
+	}
+}
+
+func BenchmarkFig1RLBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.Fig1Table(rs))
+	}
+}
+
+func BenchmarkFig5aCutoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig5a(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.Fig5aTable(pts))
+	}
+}
+
+func BenchmarkFig5bTrainingSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig5b(benchCfg(), []int{2500, 5000, 10000}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.Fig5bTable(pts))
+	}
+}
+
+func BenchmarkFig5cSeeds(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Window = 6000
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5c(cfg, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.Fig5cTable(res))
+	}
+}
+
+func BenchmarkFig6Policies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.Fig6Table(res, "bhr"))
+	}
+}
+
+func BenchmarkFig7Throughput(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Requests = 20000
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig7(cfg, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.Fig7Table(pts))
+	}
+}
+
+func BenchmarkFig8Importance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		entries, _, err := experiments.Fig8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.Fig8Table(entries))
+	}
+}
+
+func BenchmarkAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Accuracy(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, loaded := printOnce.LoadOrStore(b.Name(), true); !loaded {
+			b.Logf("\n§3 accuracy: %.2f%% (paper: >93%%)", 100*res.Accuracy)
+		}
+	}
+}
+
+// Ablation benches (DESIGN.md, "Design choices called out for ablation").
+
+func BenchmarkAblationRankedOPT(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Requests = 10000
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationRankFraction(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.AblationRankFractionTable(pts))
+	}
+}
+
+func BenchmarkAblationFeatureVariants(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Requests = 16000
+	cfg.Window = 8000
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.AblationFeatureVariants(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.AblationFeatureVariantsTable(rs))
+	}
+}
+
+func BenchmarkAblationPolicyDesign(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Requests = 20000
+	cfg.Window = 5000
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.AblationPolicyDesign(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.AblationPolicyDesignTable(rs))
+	}
+}
+
+func BenchmarkAblationIterations(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Requests = 12000
+	cfg.Window = 6000
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.AblationIterations(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.AblationIterationsTable(rs))
+	}
+}
+
+// Micro-benchmarks of the hot paths.
+
+func benchTrace(b *testing.B, n int) *Trace {
+	b.Helper()
+	tr, err := GenerateCDNMix(n, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr.WithCosts(ObjectiveBHR)
+}
+
+func BenchmarkPolicyRequest(b *testing.B) {
+	tr := benchTrace(b, 50000)
+	for _, name := range policy.Names() {
+		b.Run(name, func(b *testing.B) {
+			p, err := policy.New(name, 32<<20, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Request(tr.Requests[i%tr.Len()])
+			}
+		})
+	}
+}
+
+func BenchmarkGBDTPredict(b *testing.B) {
+	tr := benchTrace(b, 12000)
+	model, err := TrainWindowModel(tr, CacheConfig{CacheSize: 16 << 20, WindowSize: tr.Len()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := make([]float64, features.Dim)
+	row[features.FeatSize] = 32 << 10
+	row[features.FeatFree] = 1 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Predict(row)
+	}
+}
+
+func BenchmarkGBDTTrain(b *testing.B) {
+	tr := benchTrace(b, 10000)
+	ds := gbdt.NewDataset(features.Dim)
+	tracker := features.NewTracker(0)
+	buf := make([]float64, features.Dim)
+	res, err := opt.Compute(tr, opt.Config{CacheSize: 16 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, r := range tr.Requests {
+		tracker.Features(r, 1<<20, buf)
+		tracker.Update(r)
+		label := 0.0
+		if res.Admit[i] {
+			label = 1
+		}
+		ds.Append(buf, label)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gbdt.Train(ds, gbdt.DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOPTFlow(b *testing.B) {
+	tr := benchTrace(b, 8000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Compute(tr, opt.Config{CacheSize: 16 << 20, Algorithm: opt.AlgoFlow}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOPTGreedy(b *testing.B) {
+	tr := benchTrace(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Compute(tr, opt.Config{CacheSize: 32 << 20, Algorithm: opt.AlgoGreedy}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeatureTracking(b *testing.B) {
+	tr := benchTrace(b, 50000)
+	tracker := features.NewTracker(1 << 20)
+	buf := make([]float64, features.Dim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := tr.Requests[i%tr.Len()]
+		tracker.Features(r, 1<<20, buf)
+		tracker.Update(r)
+	}
+}
+
+func BenchmarkLFOCacheRequest(b *testing.B) {
+	tr := benchTrace(b, 50000)
+	cache, err := NewCache(CacheConfig{CacheSize: 32 << 20, WindowSize: 1 << 30}) // no retrain inside the loop
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.Request(tr.Requests[i%tr.Len()])
+	}
+}
+
+func BenchmarkSimulatorRun(b *testing.B) {
+	tr := benchTrace(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := policy.NewLRU(32 << 20)
+		sim.Run(tr, p, sim.Options{})
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateCDNMix(50000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceBinaryCodec(b *testing.B) {
+	tr := benchTrace(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf writeCounter
+		if err := trace.WriteBinary(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type writeCounter struct{ n int64 }
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func BenchmarkTieredExtension(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Requests = 20000
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.TieredExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.TieredTable(rs))
+	}
+}
+
+func BenchmarkMRCComputeLRU(b *testing.B) {
+	tr := benchTrace(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mrc.ComputeLRU(tr)
+	}
+}
+
+func BenchmarkMCFSolve(b *testing.B) {
+	// A fresh FOO-shaped graph per iteration (Solve is single-shot).
+	tr := benchTrace(b, 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Compute(tr, opt.Config{CacheSize: 16 << 20, Algorithm: opt.AlgoFlow}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictionServerRoundTrip(b *testing.B) {
+	tr := benchTrace(b, 10000)
+	model, err := TrainWindowModel(tr, CacheConfig{CacheSize: 16 << 20, WindowSize: tr.Len()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewPredictionServer(model, 0)
+	srv.Logf = b.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialPrediction(addr.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	// One batch of 64 rows per round trip.
+	rows := make([]float64, 64*features.Dim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Predict(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRobustnessScans(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Requests = 20000
+	cfg.Window = 5000
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Robustness(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.RobustnessTable(rs))
+	}
+}

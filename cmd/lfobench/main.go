@@ -1,0 +1,195 @@
+// Command lfobench regenerates the paper's evaluation figures (§3) and
+// the ablation studies. Each figure prints as a text table; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	lfobench -fig all                 # every figure at default scale
+//	lfobench -fig 6 -scale quick      # Fig 6 at CI scale
+//	lfobench -fig 5c -seeds 100       # full seed sweep
+//	lfobench -fig ablate              # all ablation studies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lfo/internal/cliutil"
+	"lfo/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure: 1, 5a, 5b, 5c, 6, 7, 8, acc, tiered, robust, ablate, or all")
+		scale   = flag.String("scale", "default", "harness scale: quick or default")
+		seeds   = flag.Int("seeds", 100, "seed count for Fig 5c")
+		repeats = flag.Int("repeats", 3, "subset repeats for Fig 5b")
+		seed    = flag.Int64("seed", 42, "base seed")
+		sizeStr = flag.String("size", "", "override cache size (e.g. 64m)")
+		reqs    = flag.Int("n", 0, "override trace length")
+	)
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.Quick()
+	case "default":
+		cfg = experiments.Default()
+	default:
+		fatalf("unknown -scale %q", *scale)
+	}
+	cfg.Seed = *seed
+	if *sizeStr != "" {
+		size, err := cliutil.ParseBytes(*sizeStr)
+		if err != nil || size <= 0 {
+			fatalf("bad -size %q: %v", *sizeStr, err)
+		}
+		cfg.CacheSize = size
+	}
+	if *reqs > 0 {
+		cfg.Requests = *reqs
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	ran := false
+
+	run := func(names []string, fn func() error) {
+		for _, n := range names {
+			if all || want[n] {
+				ran = true
+				if err := fn(); err != nil {
+					fatalf("%s: %v", n, err)
+				}
+				fmt.Println()
+				return
+			}
+		}
+	}
+
+	run([]string{"1"}, func() error {
+		rs, err := experiments.Fig1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Fig1Table(rs))
+		return nil
+	})
+	run([]string{"acc"}, func() error {
+		res, err := experiments.Accuracy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== §3 headline: prediction accuracy ==\n")
+		fmt.Printf("accuracy: %.2f%% (paper: >93%%)\n", 100*res.Accuracy)
+		fmt.Printf("FP rate:  %.2f%%   FN rate: %.2f%%\n",
+			100*res.Eval.FalsePositiveRate, 100*res.Eval.FalseNegativeRate)
+		fmt.Printf("windows:  train %d, eval %d requests\n", res.TrainWindow, res.EvalWindow)
+		return nil
+	})
+	run([]string{"5a"}, func() error {
+		pts, err := experiments.Fig5a(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Fig5aTable(pts))
+		return nil
+	})
+	run([]string{"5b"}, func() error {
+		pts, err := experiments.Fig5b(cfg, nil, *repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Fig5bTable(pts))
+		return nil
+	})
+	run([]string{"5c"}, func() error {
+		res, err := experiments.Fig5c(cfg, *seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Fig5cTable(res))
+		return nil
+	})
+	run([]string{"6"}, func() error {
+		res, err := experiments.Fig6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Fig6Table(res, cfg.Objective.String()))
+		return nil
+	})
+	run([]string{"7"}, func() error {
+		pts, err := experiments.Fig7(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Fig7Table(pts))
+		return nil
+	})
+	run([]string{"8"}, func() error {
+		entries, _, err := experiments.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Fig8Table(entries))
+		return nil
+	})
+	run([]string{"tiered"}, func() error {
+		rs, err := experiments.TieredExperiment(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.TieredTable(rs))
+		return nil
+	})
+	run([]string{"robust"}, func() error {
+		rs, err := experiments.Robustness(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RobustnessTable(rs))
+		return nil
+	})
+	run([]string{"ablate"}, func() error {
+		rf, err := experiments.AblationRankFraction(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.AblationRankFractionTable(rf))
+		fmt.Println()
+		fv, err := experiments.AblationFeatureVariants(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.AblationFeatureVariantsTable(fv))
+		fmt.Println()
+		pd, err := experiments.AblationPolicyDesign(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.AblationPolicyDesignTable(pd))
+		fmt.Println()
+		it, err := experiments.AblationIterations(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.AblationIterationsTable(it))
+		return nil
+	})
+
+	if !ran {
+		fatalf("unknown -fig %q (want 1, 5a, 5b, 5c, 6, 7, 8, acc, tiered, robust, ablate or all)", *fig)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "lfobench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command lfosim replays a request trace against a caching policy — any
+// of the baseline heuristics or the LFO learning cache — and reports the
+// byte and object hit ratios.
+//
+// Usage:
+//
+//	lfosim -policy lfo -size 256m -trace trace.txt
+//	lfosim -policy s4lru -size 64m -gen cdn -n 200000
+//	lfosim -policy all -size 64m -gen cdn -n 100000 -warmup 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lfo/internal/cliutil"
+	"lfo/internal/core"
+	"lfo/internal/gen"
+	"lfo/internal/opt"
+	"lfo/internal/policy"
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file (text format); mutually exclusive with -gen")
+		genMix    = flag.String("gen", "", "generate a synthetic trace instead: cdn or web")
+		n         = flag.Int("n", 100000, "generated trace length (with -gen)")
+		seed      = flag.Int64("seed", 1, "seed for generation and randomized policies")
+		name      = flag.String("policy", "lru", "policy name, 'lfo', or 'all' (see -list)")
+		list      = flag.Bool("list", false, "list available policies and exit")
+		sizeStr   = flag.String("size", "64m", "cache size (e.g. 64m, 1g)")
+		objective = flag.String("objective", "bhr", "cost objective: bhr, ohr or cost")
+		warmup    = flag.Int("warmup", 0, "requests excluded from metrics")
+		window    = flag.Int("window", 50000, "LFO training window (with -policy lfo)")
+		series    = flag.Int("series", 0, "also print per-window metrics every N requests")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("baseline policies:", policy.Names())
+		fmt.Println("learning cache:    lfo")
+		return
+	}
+
+	size, err := cliutil.ParseBytes(*sizeStr)
+	if err != nil || size <= 0 {
+		fatalf("bad -size %q: %v", *sizeStr, err)
+	}
+	obj, err := trace.ParseObjective(*objective)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	tr, err := loadTrace(*tracePath, *genMix, *n, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tr = tr.WithCosts(obj)
+
+	opts := sim.Options{Warmup: *warmup, WindowSize: *series}
+	names := []string{*name}
+	if *name == "all" {
+		names = append(policy.Names(), "lfo")
+	}
+
+	var results []*sim.Metrics
+	for _, pn := range names {
+		p, err := makePolicy(pn, size, *seed, *window)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		m := sim.Run(tr, p, opts)
+		results = append(results, m)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].BHR() > results[j].BHR() })
+
+	fmt.Printf("trace: %d requests, cache %s, objective %s, warmup %d\n",
+		tr.Len(), cliutil.FormatBytes(size), obj, *warmup)
+	fmt.Printf("%-12s %8s %8s %12s\n", "policy", "BHR", "OHR", "miss cost")
+	for _, m := range results {
+		fmt.Printf("%-12s %8.4f %8.4f %12.0f\n", m.Policy, m.BHR(), m.OHR(), m.MissCost)
+		for _, w := range m.Windows {
+			fmt.Printf("  window@%-8d BHR=%.4f OHR=%.4f\n", w.Start, w.BHR(), w.OHR())
+		}
+	}
+}
+
+func loadTrace(path, mix string, n int, seed int64) (*trace.Trace, error) {
+	switch {
+	case path != "" && mix != "":
+		return nil, fmt.Errorf("-trace and -gen are mutually exclusive")
+	case path != "":
+		return trace.ReadFile(path)
+	case mix == "cdn":
+		return gen.Generate(gen.CDNMix(n, seed))
+	case mix == "web":
+		return gen.Generate(gen.WebMix(n, seed))
+	case mix != "":
+		return nil, fmt.Errorf("unknown -gen mix %q", mix)
+	default:
+		return nil, fmt.Errorf("need -trace FILE or -gen MIX")
+	}
+}
+
+func makePolicy(name string, size, seed int64, window int) (sim.Policy, error) {
+	if name == "lfo" {
+		return core.New(core.Config{
+			CacheSize:  size,
+			WindowSize: window,
+			OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
+		})
+	}
+	return policy.New(name, size, seed)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "lfosim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command predserve runs LFO's TCP prediction service: it trains (or
+// loads) an admission model and serves likelihood predictions to CDN
+// frontends over the length-prefixed binary protocol in internal/server.
+//
+// Usage:
+//
+//	predserve -addr :7070 -model model.gob
+//	predserve -addr :7070 -train-gen cdn -n 50000 -size 64m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lfo/internal/cliutil"
+	"lfo/internal/core"
+	"lfo/internal/gbdt"
+	"lfo/internal/gen"
+	"lfo/internal/opt"
+	"lfo/internal/server"
+	"lfo/internal/trace"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		modelPath = flag.String("model", "", "load a model saved with Model.Save")
+		trainFile = flag.String("train-trace", "", "train a model from this trace file")
+		trainGen  = flag.String("train-gen", "", "train a model from a generated trace: cdn or web")
+		n         = flag.Int("n", 50000, "generated training trace length")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		sizeStr   = flag.String("size", "64m", "cache size used for OPT labels")
+		workers   = flag.Int("workers", 0, "prediction parallelism per request batch (0 = serial)")
+		saveModel = flag.String("save-model", "", "after training, save the model here")
+	)
+	flag.Parse()
+
+	model, err := obtainModel(*modelPath, *trainFile, *trainGen, *n, *seed, *sizeStr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			fatalf("create %s: %v", *saveModel, err)
+		}
+		if err := model.Save(f); err != nil {
+			fatalf("save model: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("close model: %v", err)
+		}
+		fmt.Printf("model saved to %s\n", *saveModel)
+	}
+
+	srv := server.New(model, *workers)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("predserve: %d trees, listening on %s\n", model.NumTrees(), bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("predserve: shutting down")
+	if err := srv.Close(); err != nil {
+		fatalf("close: %v", err)
+	}
+}
+
+func obtainModel(modelPath, trainFile, trainGen string, n int, seed int64, sizeStr string) (*gbdt.Model, error) {
+	if modelPath != "" {
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return gbdt.Load(f)
+	}
+	size, err := cliutil.ParseBytes(sizeStr)
+	if err != nil || size <= 0 {
+		return nil, fmt.Errorf("bad -size %q: %v", sizeStr, err)
+	}
+	var tr *trace.Trace
+	switch {
+	case trainFile != "":
+		tr, err = trace.ReadFile(trainFile)
+	case trainGen == "cdn":
+		tr, err = gen.Generate(gen.CDNMix(n, seed))
+	case trainGen == "web":
+		tr, err = gen.Generate(gen.WebMix(n, seed))
+	default:
+		return nil, fmt.Errorf("need -model, -train-trace or -train-gen")
+	}
+	if err != nil {
+		return nil, err
+	}
+	tr = tr.WithCosts(trace.ObjectiveBHR)
+	model, _, err := core.TrainOnWindow(tr, core.Config{
+		CacheSize:  size,
+		WindowSize: tr.Len(),
+		OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
+	})
+	return model, err
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "predserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Policy comparison: replay one CDN trace against every caching system in
+// the repository — the paper's Figure 6 line-up plus extras — and print a
+// leaderboard with the offline-optimal (OPT) bound on top.
+//
+//	go run ./examples/policycompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"lfo"
+)
+
+func main() {
+	const (
+		requests  = 80000
+		cacheSize = 32 << 20
+		warmup    = 20000
+	)
+	tr, err := lfo.GenerateCDNMix(requests, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr = tr.WithCosts(lfo.ObjectiveBHR)
+
+	type row struct {
+		name     string
+		bhr, ohr float64
+	}
+	var rows []row
+
+	// Baseline heuristics.
+	for _, name := range lfo.PolicyNames() {
+		p, err := lfo.NewPolicy(name, cacheSize, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := lfo.Simulate(tr, p, lfo.SimOptions{Warmup: warmup})
+		rows = append(rows, row{m.Policy, m.BHR(), m.OHR()})
+	}
+
+	// The LFO learning cache.
+	cache, err := lfo.NewCache(lfo.CacheConfig{CacheSize: cacheSize, WindowSize: warmup})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := lfo.Simulate(tr, cache, lfo.SimOptions{Warmup: warmup})
+	rows = append(rows, row{"LFO", m.BHR(), m.OHR()})
+
+	// The offline-optimal bound over the measured portion.
+	optRes, err := lfo.ComputeOPT(tr.Slice(warmup, tr.Len()), lfo.OPTConfig{CacheSize: cacheSize})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].bhr > rows[j].bhr })
+	fmt.Printf("%-12s %8s %8s\n", "policy", "BHR", "OHR")
+	fmt.Printf("%-12s %8.4f %8.4f   (offline bound)\n", "OPT", optRes.BHR(), optRes.OHR())
+	for _, r := range rows {
+		marker := ""
+		if r.name == "LFO" {
+			marker = "   <- learned from OPT"
+		}
+		fmt.Printf("%-12s %8.4f %8.4f%s\n", r.name, r.bhr, r.ohr, marker)
+	}
+}

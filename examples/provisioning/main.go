@@ -1,0 +1,62 @@
+// Cache provisioning: compute the exact LRU miss-ratio curve for a CDN
+// workload in one pass (Mattson's stack algorithm, byte-weighted), sample
+// the offline-optimal bound at selected sizes, and report how much cache
+// an LFO deployment would need to match LRU at a given hit-ratio target —
+// the provisioning question §5 of the paper raises via footprint
+// descriptors.
+//
+//	go run ./examples/provisioning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lfo"
+)
+
+func main() {
+	tr, err := lfo.GenerateCDNMix(60000, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr = tr.WithCosts(lfo.ObjectiveBHR)
+
+	curve := lfo.ComputeMRC(tr)
+	fmt.Printf("working set saturates LRU at %d MiB\n\n", curve.MaxUseful()>>20)
+
+	sizes := lfo.LogCacheSizes(4<<20, 512<<20, 8)
+	optPts, err := lfo.ComputeOPTCurve(tr, sizes, lfo.OPTConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %10s %10s %14s\n", "cache", "LRU BHR", "OPT BHR", "OPT headroom")
+	for i, s := range sizes {
+		lruBHR := curve.BHR(s)
+		headroom := "-"
+		if lruBHR > 0 {
+			headroom = fmt.Sprintf("%.2fx", optPts[i].BHR/lruBHR)
+		}
+		fmt.Printf("%-10s %10.4f %10.4f %14s\n",
+			fmt.Sprintf("%dMiB", s>>20), lruBHR, optPts[i].BHR, headroom)
+	}
+
+	// Provisioning question: how much LRU cache buys the hit ratio OPT
+	// achieves at a mid-range size? Binary-search the exact curve.
+	ref := len(sizes) / 2
+	target := optPts[ref].BHR
+	lo, hi := sizes[ref], curve.MaxUseful()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if curve.BHR(mid) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	fmt.Printf("\nTo match OPT's BHR at %dMiB (%.4f), plain LRU needs ≈%dMiB —\n",
+		sizes[ref]>>20, target, lo>>20)
+	fmt.Printf("a %.1fx provisioning gap that a better policy can close in software.\n",
+		float64(lo)/float64(sizes[ref]))
+}

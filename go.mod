@@ -1,0 +1,3 @@
+module lfo
+
+go 1.22

@@ -1,0 +1,164 @@
+// Package analysis characterizes request traces the way CDN caching
+// papers do in their workload tables: popularity skew, size distribution,
+// reuse behaviour, and working-set footprint. The report drives workload
+// validation (does a synthetic trace look like CDN traffic?) and shows up
+// in cmd/traceinfo.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"lfo/internal/trace"
+)
+
+// Report summarizes a trace.
+type Report struct {
+	Requests      int
+	UniqueObjects int
+	TotalBytes    int64
+	UniqueBytes   int64
+
+	// Size distribution over distinct objects (bytes).
+	SizeP50, SizeP90, SizeP99, SizeMax int64
+	MeanObjectSize                     float64
+
+	// Popularity.
+	OneHitWonderShare float64 // fraction of objects requested exactly once
+	TopPct1Share      float64 // share of requests to the hottest 1% of objects
+	ZipfAlpha         float64 // least-squares fit on the log rank-frequency curve
+	MaxFrequency      int
+
+	// Reuse behaviour.
+	ReuseShare  float64 // fraction of requests that are reuses
+	MedianReuse int64   // median request-count distance between reuses
+}
+
+// Analyze scans the trace and builds a report.
+func Analyze(tr *trace.Trace) *Report {
+	r := &Report{Requests: tr.Len(), TotalBytes: 0}
+	if tr.Len() == 0 {
+		return r
+	}
+	counts := make(map[trace.ObjectID]int, 1024)
+	sizes := make(map[trace.ObjectID]int64, 1024)
+	lastSeen := make(map[trace.ObjectID]int, 1024)
+	var reuseDists []int64
+	for i, req := range tr.Requests {
+		r.TotalBytes += req.Size
+		counts[req.ID]++
+		sizes[req.ID] = req.Size
+		if p, ok := lastSeen[req.ID]; ok {
+			reuseDists = append(reuseDists, int64(i-p))
+		}
+		lastSeen[req.ID] = i
+	}
+	r.UniqueObjects = len(counts)
+
+	// Size percentiles over distinct objects.
+	sz := make([]int64, 0, len(sizes))
+	for id, s := range sizes {
+		sz = append(sz, s)
+		r.UniqueBytes += s
+		_ = id
+	}
+	sort.Slice(sz, func(a, b int) bool { return sz[a] < sz[b] })
+	r.SizeP50 = percentile(sz, 0.50)
+	r.SizeP90 = percentile(sz, 0.90)
+	r.SizeP99 = percentile(sz, 0.99)
+	r.SizeMax = sz[len(sz)-1]
+	r.MeanObjectSize = float64(r.UniqueBytes) / float64(r.UniqueObjects)
+
+	// Popularity.
+	freqs := make([]int, 0, len(counts))
+	oneHit := 0
+	for _, c := range counts {
+		freqs = append(freqs, c)
+		if c == 1 {
+			oneHit++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	r.OneHitWonderShare = float64(oneHit) / float64(r.UniqueObjects)
+	r.MaxFrequency = freqs[0]
+	top := len(freqs) / 100
+	if top < 1 {
+		top = 1
+	}
+	topReqs := 0
+	for _, f := range freqs[:top] {
+		topReqs += f
+	}
+	r.TopPct1Share = float64(topReqs) / float64(r.Requests)
+	r.ZipfAlpha = fitZipf(freqs)
+
+	// Reuse.
+	r.ReuseShare = float64(len(reuseDists)) / float64(r.Requests)
+	if len(reuseDists) > 0 {
+		sort.Slice(reuseDists, func(a, b int) bool { return reuseDists[a] < reuseDists[b] })
+		r.MedianReuse = reuseDists[len(reuseDists)/2]
+	}
+	return r
+}
+
+// percentile returns the p-quantile of a sorted slice.
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// fitZipf least-squares fits log(freq) = c − alpha·log(rank) over the
+// descending frequency list, skipping the tail of singletons (they form a
+// plateau that is not informative about the head's skew).
+func fitZipf(descFreqs []int) float64 {
+	var xs, ys []float64
+	for i, f := range descFreqs {
+		if f < 2 {
+			break
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		ys = append(ys, math.Log(float64(f)))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	// Ordinary least squares slope.
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	n := float64(len(xs))
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	slope := (n*sxy - sx*sy) / denom
+	return -slope
+}
+
+// String renders the report as the usual workload table.
+func (r *Report) String() string {
+	var b strings.Builder
+	w := func(format string, args ...interface{}) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("requests:            %d", r.Requests)
+	w("unique objects:      %d", r.UniqueObjects)
+	w("total bytes:         %d", r.TotalBytes)
+	w("working set bytes:   %d", r.UniqueBytes)
+	w("object size p50/p90/p99/max: %d / %d / %d / %d", r.SizeP50, r.SizeP90, r.SizeP99, r.SizeMax)
+	w("mean object size:    %.0f", r.MeanObjectSize)
+	w("one-hit wonders:     %.1f%% of objects", 100*r.OneHitWonderShare)
+	w("hottest 1%% objects:  %.1f%% of requests", 100*r.TopPct1Share)
+	w("fitted Zipf alpha:   %.2f", r.ZipfAlpha)
+	w("max object frequency: %d", r.MaxFrequency)
+	w("reuse share:         %.1f%% of requests", 100*r.ReuseShare)
+	w("median reuse distance: %d requests", r.MedianReuse)
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lfo/internal/gen"
+	"lfo/internal/trace"
+)
+
+func TestAnalyzeHandTrace(t *testing.T) {
+	// a(10) b(20) a(10) c(30) a(10): 5 requests, 3 objects.
+	tr := &trace.Trace{Requests: []trace.Request{
+		{Time: 0, ID: 1, Size: 10},
+		{Time: 1, ID: 2, Size: 20},
+		{Time: 2, ID: 1, Size: 10},
+		{Time: 3, ID: 3, Size: 30},
+		{Time: 4, ID: 1, Size: 10},
+	}}
+	r := Analyze(tr)
+	if r.Requests != 5 || r.UniqueObjects != 3 {
+		t.Fatalf("requests,objects = %d,%d", r.Requests, r.UniqueObjects)
+	}
+	if r.TotalBytes != 80 || r.UniqueBytes != 60 {
+		t.Errorf("bytes = %d,%d, want 80,60", r.TotalBytes, r.UniqueBytes)
+	}
+	if r.SizeMax != 30 || r.SizeP50 != 20 {
+		t.Errorf("size p50,max = %d,%d", r.SizeP50, r.SizeMax)
+	}
+	// b and c are one-hit wonders: 2/3.
+	if math.Abs(r.OneHitWonderShare-2.0/3.0) > 1e-9 {
+		t.Errorf("one-hit share = %g", r.OneHitWonderShare)
+	}
+	if r.MaxFrequency != 3 {
+		t.Errorf("max freq = %d", r.MaxFrequency)
+	}
+	// Reuses: a@2 (dist 2), a@4 (dist 2) -> share 2/5, median 2.
+	if math.Abs(r.ReuseShare-0.4) > 1e-9 || r.MedianReuse != 2 {
+		t.Errorf("reuse = %g,%d", r.ReuseShare, r.MedianReuse)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	r := Analyze(&trace.Trace{})
+	if r.Requests != 0 || r.UniqueObjects != 0 {
+		t.Error("empty report not zero")
+	}
+}
+
+// TestZipfAlphaRecovered: the fitted alpha on a generated Zipf trace must
+// land near the generator's configured skew.
+func TestZipfAlphaRecovered(t *testing.T) {
+	for _, alpha := range []float64{0.7, 1.0} {
+		cfg := gen.UnitMix(200000, 3, 1<<14, alpha)
+		tr, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Analyze(tr)
+		if math.Abs(r.ZipfAlpha-alpha) > 0.2 {
+			t.Errorf("alpha %.1f: fitted %.2f", alpha, r.ZipfAlpha)
+		}
+	}
+}
+
+func TestAnalyzeCDNMixShape(t *testing.T) {
+	tr, err := gen.Generate(gen.CDNMix(50000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(tr)
+	// CDN traffic invariants the generator must reproduce (§1, [51]):
+	// a long tail of one-hit wonders and a hot head.
+	if r.OneHitWonderShare < 0.3 {
+		t.Errorf("one-hit wonder share %.2f implausibly low for CDN traffic", r.OneHitWonderShare)
+	}
+	if r.TopPct1Share < 0.1 {
+		t.Errorf("hottest 1%% carries only %.2f of requests", r.TopPct1Share)
+	}
+	if r.SizeMax < 10*r.SizeP50 {
+		t.Errorf("size distribution not heavy-tailed: p50=%d max=%d", r.SizeP50, r.SizeMax)
+	}
+	s := r.String()
+	for _, want := range []string{"requests:", "Zipf", "one-hit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(s, 0); got != 1 {
+		t.Errorf("p0 = %d", got)
+	}
+	if got := percentile(s, 1); got != 10 {
+		t.Errorf("p100 = %d", got)
+	}
+	if got := percentile(s, 0.5); got != 5 {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %d", got)
+	}
+}
+
+func TestFitZipfDegenerate(t *testing.T) {
+	if got := fitZipf([]int{1, 1, 1}); got != 0 {
+		t.Errorf("all-singleton fit = %g, want 0", got)
+	}
+	if got := fitZipf(nil); got != 0 {
+		t.Errorf("empty fit = %g", got)
+	}
+}

@@ -1,0 +1,101 @@
+// Package che implements Che's approximation for LRU-like caches: the
+// characteristic time T of a cache is the unique solution of
+//
+//	Σ_i  p_i · s_i · (1 − e^{−λ_i·T}) = capacity
+//
+// where λ_i is object i's arrival rate, s_i its size, and p_i the
+// probability its misses are admitted. Given T, per-object hit
+// probabilities follow as p_i·(1 − e^{−λ_i·T}).
+//
+// AdaptSize's tuning loop (Berger et al., NSDI 2017 [12]) uses this model
+// to predict the hit ratio of candidate admission parameters without
+// running them; package policy's AdaptSize implementation calls into this
+// package.
+package che
+
+import (
+	"math"
+)
+
+// Object is one distinct object's statistics within an observation window.
+type Object struct {
+	// Rate is the arrival rate (requests per unit time or per request
+	// slot; only relative scale matters).
+	Rate float64
+	// Size is the object size in bytes.
+	Size float64
+	// PAdmit is the probability a miss on this object is admitted.
+	PAdmit float64
+}
+
+// occupancy returns the expected resident bytes at characteristic time t.
+func occupancy(objs []Object, t float64) float64 {
+	var sum float64
+	for _, o := range objs {
+		sum += o.PAdmit * o.Size * (1 - math.Exp(-o.Rate*t))
+	}
+	return sum
+}
+
+// CharacteristicTime solves Che's fixed point for the given capacity via
+// bisection. It returns +Inf when the entire (admitted) working set fits
+// in the cache, and 0 for an empty object set or non-positive capacity.
+func CharacteristicTime(objs []Object, capacity float64) float64 {
+	if len(objs) == 0 || capacity <= 0 {
+		return 0
+	}
+	// If everything fits, T is unbounded.
+	var totalBytes float64
+	for _, o := range objs {
+		totalBytes += o.PAdmit * o.Size
+	}
+	if totalBytes <= capacity {
+		return math.Inf(1)
+	}
+	lo, hi := 0.0, 1.0
+	for occupancy(objs, hi) < capacity {
+		hi *= 2
+		if hi > 1e18 {
+			return math.Inf(1)
+		}
+	}
+	for iter := 0; iter < 100 && hi-lo > 1e-9*hi; iter++ {
+		mid := (lo + hi) / 2
+		if occupancy(objs, mid) < capacity {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Ratios predicts the object and byte hit ratios of an admission-filtered
+// LRU cache with the given capacity: each request to object i hits with
+// probability PAdmit_i · (1 − e^{−λ_i·T}).
+func Ratios(objs []Object, capacity float64) (ohr, bhr float64) {
+	t := CharacteristicTime(objs, capacity)
+	if t == 0 {
+		return 0, 0
+	}
+	var hitReqs, reqs, hitBytes, bytes float64
+	for _, o := range objs {
+		var pHit float64
+		if math.IsInf(t, 1) {
+			pHit = o.PAdmit
+		} else {
+			pHit = o.PAdmit * (1 - math.Exp(-o.Rate*t))
+		}
+		hitReqs += o.Rate * pHit
+		reqs += o.Rate
+		hitBytes += o.Rate * o.Size * pHit
+		bytes += o.Rate * o.Size
+	}
+	if reqs > 0 {
+		ohr = hitReqs / reqs
+	}
+	if bytes > 0 {
+		bhr = hitBytes / bytes
+	}
+	return ohr, bhr
+}

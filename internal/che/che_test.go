@@ -1,0 +1,100 @@
+package che
+
+import (
+	"math"
+	"testing"
+)
+
+func uniformObjects(n int, rate, size float64) []Object {
+	objs := make([]Object, n)
+	for i := range objs {
+		objs[i] = Object{Rate: rate, Size: size, PAdmit: 1}
+	}
+	return objs
+}
+
+func TestCharacteristicTimeEverythingFits(t *testing.T) {
+	objs := uniformObjects(10, 1, 100)
+	if tc := CharacteristicTime(objs, 10*100); !math.IsInf(tc, 1) {
+		t.Errorf("T = %g, want +Inf when the working set fits", tc)
+	}
+}
+
+func TestCharacteristicTimeEmpty(t *testing.T) {
+	if tc := CharacteristicTime(nil, 100); tc != 0 {
+		t.Errorf("T = %g, want 0 for empty set", tc)
+	}
+	if tc := CharacteristicTime(uniformObjects(5, 1, 1), 0); tc != 0 {
+		t.Errorf("T = %g, want 0 for zero capacity", tc)
+	}
+}
+
+func TestCharacteristicTimeFixedPoint(t *testing.T) {
+	// 100 unit-rate unit-size objects, capacity 50: at T*, occupancy = 50.
+	objs := uniformObjects(100, 1, 1)
+	tc := CharacteristicTime(objs, 50)
+	// Occupancy at T: 100 (1 - e^{-T}) = 50 -> T = ln 2.
+	if math.Abs(tc-math.Ln2) > 1e-6 {
+		t.Errorf("T = %g, want ln2 = %g", tc, math.Ln2)
+	}
+}
+
+func TestRatiosUniform(t *testing.T) {
+	// Uniform popularity, half fits: every request hits with prob 1/2.
+	objs := uniformObjects(100, 1, 1)
+	ohr, bhr := Ratios(objs, 50)
+	if math.Abs(ohr-0.5) > 1e-6 || math.Abs(bhr-0.5) > 1e-6 {
+		t.Errorf("ohr,bhr = %g,%g, want 0.5,0.5", ohr, bhr)
+	}
+}
+
+func TestRatiosSkewFavorsHot(t *testing.T) {
+	// Two objects: hot (rate 100) and cold (rate 1), capacity 1 of 2.
+	objs := []Object{
+		{Rate: 100, Size: 1, PAdmit: 1},
+		{Rate: 1, Size: 1, PAdmit: 1},
+	}
+	ohr, _ := Ratios(objs, 1)
+	// The hot object should be near-always resident: OHR ≈ 100/101.
+	if ohr < 0.8 {
+		t.Errorf("skewed OHR = %g, want > 0.8", ohr)
+	}
+}
+
+func TestRatiosAdmissionFilter(t *testing.T) {
+	// Blocking admission of the large object must raise OHR when the
+	// cache is small: classic AdaptSize effect.
+	small := Object{Rate: 1, Size: 1, PAdmit: 1}
+	largeAdmitted := Object{Rate: 1, Size: 99, PAdmit: 1}
+	largeBlocked := Object{Rate: 1, Size: 99, PAdmit: 0}
+
+	manySmall := make([]Object, 50)
+	for i := range manySmall {
+		manySmall[i] = small
+	}
+	withLarge := append(append([]Object{}, manySmall...), largeAdmitted)
+	withoutLarge := append(append([]Object{}, manySmall...), largeBlocked)
+
+	ohrWith, _ := Ratios(withLarge, 25)
+	ohrWithout, _ := Ratios(withoutLarge, 25)
+	if ohrWithout <= ohrWith {
+		t.Errorf("blocking the large object: OHR %g <= %g", ohrWithout, ohrWith)
+	}
+}
+
+func TestRatiosMonotoneInCapacity(t *testing.T) {
+	objs := []Object{
+		{Rate: 5, Size: 10, PAdmit: 1},
+		{Rate: 3, Size: 20, PAdmit: 1},
+		{Rate: 1, Size: 40, PAdmit: 1},
+		{Rate: 0.5, Size: 80, PAdmit: 1},
+	}
+	prev := -1.0
+	for _, cap := range []float64{10, 30, 70, 150} {
+		ohr, _ := Ratios(objs, cap)
+		if ohr < prev-1e-9 {
+			t.Errorf("OHR decreased from %g to %g at capacity %g", prev, ohr, cap)
+		}
+		prev = ohr
+	}
+}

@@ -1,0 +1,69 @@
+package cliutil
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"1234", 1234},
+		{"1k", 1024},
+		{"1K", 1024},
+		{"2kb", 2048},
+		{"4KiB", 4096},
+		{"64m", 64 << 20},
+		{"1g", 1 << 30},
+		{"1.5g", 3 << 29},
+		{"2t", 2 << 40},
+		{"100b", 100},
+		{" 8M ", 8 << 20},
+	}
+	for _, tc := range tests {
+		got, err := ParseBytes(tc.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseBytesErrors(t *testing.T) {
+	for _, in := range []string{"", "x", "k", "-5", "-1g", "1.2.3m"} {
+		if _, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) accepted", in)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.0KiB"},
+		{64 << 20, "64.0MiB"},
+		{3 << 29, "1.5GiB"},
+		{1 << 41, "2.0TiB"},
+	}
+	for _, tc := range tests {
+		if got := FormatBytes(tc.in); got != tc.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int64{1 << 10, 1 << 20, 1 << 30, 5 << 20} {
+		s := FormatBytes(n)
+		got, err := ParseBytes(s)
+		if err != nil || got != n {
+			t.Errorf("round trip %d -> %q -> %d (%v)", n, s, got, err)
+		}
+	}
+}

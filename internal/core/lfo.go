@@ -1,0 +1,352 @@
+// Package core implements LFO (Learning From OPT), the paper's
+// contribution: a caching policy that learns the offline-optimal admission
+// decisions from online features.
+//
+// The online pipeline follows Figure 2 of the paper. While serving
+// requests, LFO records each request's online feature vector (§2.2). When
+// a window of WindowSize requests completes, LFO computes OPT's decisions
+// for the window (§2.1, package opt), trains a boosted-tree classifier
+// mapping features to decisions (§2.3, package gbdt), and deploys the new
+// model for the next window (§2.4): admit when the predicted likelihood is
+// at least Cutoff, rank resident objects by predicted likelihood, and
+// evict the minimum. Re-evaluating likelihoods on hits means a cache hit
+// can demote — or even evict — the hit object, mirroring OPT.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lfo/internal/features"
+	"lfo/internal/gbdt"
+	"lfo/internal/opt"
+	"lfo/internal/pq"
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+// Config parameterizes an LFO cache.
+type Config struct {
+	// CacheSize is the capacity in bytes. Required.
+	CacheSize int64
+	// WindowSize is the training window length in requests (Figure 2's
+	// W). Zero means 50000.
+	WindowSize int
+	// Cutoff is the admission likelihood threshold (§2.4). Zero means
+	// 0.5.
+	Cutoff float64
+	// OPT configures the offline-optimal computation for training
+	// labels. OPT.CacheSize is overridden with CacheSize.
+	OPT opt.Config
+	// GBDT configures the learner; zero value means gbdt.DefaultParams.
+	GBDT gbdt.Params
+	// MaxTrackedObjects bounds the feature tracker's sparse state
+	// (0 = unbounded).
+	MaxTrackedObjects int
+	// DisableEvictOnHit keeps hit objects resident even when their
+	// re-evaluated likelihood falls below Cutoff. By default LFO evicts
+	// them immediately (the paper's "a cache hit [may lead] to the
+	// eviction of the hit object", §2.4); disabling is for ablations.
+	DisableEvictOnHit bool
+	// OnRetrain, when set, is called after each training round with
+	// diagnostics about the new model.
+	OnRetrain func(stats RetrainStats)
+	// AsyncTraining trains each window's model in a background goroutine
+	// and deploys it when ready, instead of blocking the request path —
+	// the production concern §3 raises ("training tasks [must] not
+	// interfere with the request traffic"). The request path stays on
+	// the previous model until the swap; results are therefore no longer
+	// bit-reproducible across runs. Callers must Close the cache to wait
+	// for an in-flight training round.
+	AsyncTraining bool
+	// InitialModel warm-starts the cache with a previously trained model
+	// (e.g. gbdt.Load of a persisted model), skipping the admit-all
+	// bootstrap phase.
+	InitialModel *gbdt.Model
+}
+
+// RetrainStats summarizes one retraining round, surfaced via OnRetrain.
+type RetrainStats struct {
+	// Window is the index of the completed window (0-based).
+	Window int
+	// Samples is the training set size.
+	Samples int
+	// PositiveRate is the fraction of OPT-admitted samples.
+	PositiveRate float64
+	// TrainAccuracy is the model's agreement with OPT on its own
+	// training window.
+	TrainAccuracy float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowSize <= 0 {
+		c.WindowSize = 50000
+	}
+	if c.Cutoff <= 0 {
+		c.Cutoff = 0.5
+	}
+	if c.GBDT.NumIterations == 0 {
+		c.GBDT = gbdt.DefaultParams()
+	}
+	c.OPT.CacheSize = c.CacheSize
+	return c
+}
+
+// LFO is the online learning cache. It implements sim.Policy.
+type LFO struct {
+	cfg     Config
+	store   *sim.Store[struct{}]
+	rank    *pq.Queue // eviction rank: min predicted likelihood first
+	tracker *features.Tracker
+	model   *gbdt.Model
+
+	// Window recording.
+	winReqs  []trace.Request
+	winFeats []float64 // flat rows, features.Dim wide
+	windows  int
+
+	clock int64 // request counter (bootstrap LRU rank)
+	now   int64 // last request's trace time (feature time base)
+	buf   []float64
+
+	// Async training state: pending receives at most one in-flight
+	// result; training spawns only when pending is nil.
+	pending chan *gbdt.Model
+}
+
+// New returns an LFO cache. Until the first window completes, LFO runs a
+// bootstrap policy: admit everything, evict least-recently-used.
+func New(cfg Config) (*LFO, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CacheSize <= 0 {
+		return nil, fmt.Errorf("core: CacheSize must be positive, got %d", cfg.CacheSize)
+	}
+	if err := cfg.GBDT.Validate(); err != nil {
+		return nil, err
+	}
+	p := &LFO{
+		cfg:     cfg,
+		store:   sim.NewStore[struct{}](cfg.CacheSize),
+		rank:    pq.New(),
+		tracker: features.NewTracker(cfg.MaxTrackedObjects),
+		buf:     make([]float64, features.Dim),
+	}
+	if cfg.InitialModel != nil {
+		if cfg.InitialModel.Dim != features.Dim {
+			return nil, fmt.Errorf("core: InitialModel dim %d != %d", cfg.InitialModel.Dim, features.Dim)
+		}
+		p.model = cfg.InitialModel
+	}
+	return p, nil
+}
+
+// Name implements sim.Policy.
+func (p *LFO) Name() string { return "LFO" }
+
+// Model returns the currently deployed model (nil during bootstrap).
+func (p *LFO) Model() *gbdt.Model { return p.model }
+
+// Windows returns the number of completed training windows.
+func (p *LFO) Windows() int { return p.windows }
+
+// Request implements sim.Policy.
+func (p *LFO) Request(r trace.Request) bool {
+	p.clock++
+	p.now = r.Time
+	p.tracker.Features(r, p.store.Free(), p.buf)
+
+	// Record the window sample before acting (features must reflect the
+	// pre-decision state, exactly what the deployed model would see).
+	p.winReqs = append(p.winReqs, r)
+	p.winFeats = append(p.winFeats, p.buf...)
+
+	var likelihood float64
+	if p.model != nil {
+		likelihood = p.model.Predict(p.buf)
+	}
+
+	hit := p.store.Has(r.ID)
+	switch {
+	case hit && p.model != nil:
+		// Re-evaluate on every request (§2.4): update the eviction rank
+		// and, matching OPT's behavior, drop the object right away when
+		// the model says OPT would not keep it.
+		if likelihood < p.cfg.Cutoff && !p.cfg.DisableEvictOnHit {
+			p.rank.Remove(r.ID)
+			p.store.Remove(r.ID)
+		} else {
+			p.rank.Update(r.ID, likelihood)
+		}
+	case hit:
+		p.rank.Update(r.ID, float64(p.clock)) // bootstrap: LRU order
+	case r.Size <= p.store.Capacity():
+		if p.model == nil {
+			// Bootstrap: admit all, LRU eviction order.
+			p.admit(r, float64(p.clock))
+		} else if likelihood >= p.cfg.Cutoff {
+			p.admit(r, likelihood)
+		}
+	}
+
+	p.tracker.Update(r)
+
+	if p.pending != nil {
+		// Deploy an asynchronously trained model as soon as it lands.
+		select {
+		case m := <-p.pending:
+			p.pending = nil
+			p.deploy(m)
+		default:
+		}
+	}
+	if len(p.winReqs) >= p.cfg.WindowSize {
+		if p.cfg.AsyncTraining {
+			p.retrainAsync()
+		} else {
+			p.retrain()
+		}
+	}
+	return hit
+}
+
+// Close waits for any in-flight background training round and deploys its
+// model. It is a no-op without AsyncTraining.
+func (p *LFO) Close() {
+	if p.pending != nil {
+		p.deploy(<-p.pending)
+		p.pending = nil
+	}
+}
+
+// admit inserts the object with the given eviction rank, evicting
+// lowest-ranked objects to make room.
+func (p *LFO) admit(r trace.Request, rank float64) {
+	for !p.store.Fits(r.Size) {
+		id, _ := p.rank.PopMin()
+		p.store.Remove(id)
+	}
+	p.store.Add(r.ID, r.Size)
+	p.rank.Push(r.ID, rank)
+}
+
+// retrain computes OPT over the recorded window, fits a fresh model, and
+// re-ranks the resident objects under it (Figure 2's window handoff).
+func (p *LFO) retrain() {
+	win := &trace.Trace{Requests: p.winReqs}
+	res, err := opt.Compute(win, p.cfg.OPT)
+	if err != nil {
+		// OPT computation cannot fail for a valid window and positive
+		// cache size; fail loudly rather than serve a stale model
+		// silently.
+		panic(fmt.Sprintf("core: OPT computation failed: %v", err))
+	}
+
+	ds := gbdt.NewDataset(features.Dim)
+	for i := range p.winReqs {
+		label := 0.0
+		if res.Admit[i] {
+			label = 1
+		}
+		ds.Append(p.winFeats[i*features.Dim:(i+1)*features.Dim], label)
+	}
+	model, err := gbdt.Train(ds, p.cfg.GBDT)
+	if err != nil {
+		panic(fmt.Sprintf("core: training failed: %v", err))
+	}
+
+	if p.cfg.OnRetrain != nil {
+		correct, pos := 0, 0
+		for i := 0; i < ds.Len(); i++ {
+			pred := model.Predict(ds.Row(i)) >= p.cfg.Cutoff
+			if pred == (ds.Label(i) == 1) {
+				correct++
+			}
+			if ds.Label(i) == 1 {
+				pos++
+			}
+		}
+		p.cfg.OnRetrain(RetrainStats{
+			Window:        p.windows,
+			Samples:       ds.Len(),
+			PositiveRate:  float64(pos) / float64(ds.Len()),
+			TrainAccuracy: float64(correct) / float64(ds.Len()),
+		})
+	}
+
+	p.winReqs = p.winReqs[:0]
+	p.winFeats = p.winFeats[:0]
+	p.deploy(model)
+}
+
+// deploy swaps in a freshly trained model and re-ranks residents.
+func (p *LFO) deploy(model *gbdt.Model) {
+	p.model = model
+	p.windows++
+	p.rescoreResidents()
+}
+
+// retrainAsync snapshots the window and trains in a goroutine; the model
+// deploys on a later Request (or Close). The request path keeps serving
+// on the previous model meanwhile. If a training round is still in
+// flight, the oldest window is dropped (training lags the traffic), which
+// matches a production deployment that sheds stale training work.
+func (p *LFO) retrainAsync() {
+	reqs := append([]trace.Request(nil), p.winReqs...)
+	feats := append([]float64(nil), p.winFeats...)
+	p.winReqs = p.winReqs[:0]
+	p.winFeats = p.winFeats[:0]
+	if p.pending != nil {
+		return // previous round still training; drop this window
+	}
+	ch := make(chan *gbdt.Model, 1)
+	p.pending = ch
+	cfg := p.cfg
+	go func() {
+		ch <- trainWindow(reqs, feats, cfg)
+	}()
+}
+
+// trainWindow runs the OPT-label + fit pipeline on a snapshot; it is free
+// of references to the live cache so it can run concurrently with
+// serving.
+func trainWindow(reqs []trace.Request, feats []float64, cfg Config) *gbdt.Model {
+	win := &trace.Trace{Requests: reqs}
+	res, err := opt.Compute(win, cfg.OPT)
+	if err != nil {
+		panic(fmt.Sprintf("core: OPT computation failed: %v", err))
+	}
+	ds := gbdt.NewDataset(features.Dim)
+	for i := range reqs {
+		label := 0.0
+		if res.Admit[i] {
+			label = 1
+		}
+		ds.Append(feats[i*features.Dim:(i+1)*features.Dim], label)
+	}
+	model, err := gbdt.Train(ds, cfg.GBDT)
+	if err != nil {
+		panic(fmt.Sprintf("core: training failed: %v", err))
+	}
+	return model
+}
+
+// rescoreResidents re-ranks every resident object under the new model so
+// bootstrap-era or stale-model priorities cannot linger. Objects are
+// visited in sorted ID order: map iteration order would otherwise leak
+// into the rank queue's tie-breaking and make runs non-reproducible.
+func (p *LFO) rescoreResidents() {
+	type resident struct {
+		id   trace.ObjectID
+		size int64
+	}
+	residents := make([]resident, 0, p.store.Len())
+	p.store.Range(func(e *sim.StoreEntry[struct{}]) bool {
+		residents = append(residents, resident{e.ID, e.Size})
+		return true
+	})
+	sort.Slice(residents, func(i, j int) bool { return residents[i].id < residents[j].id })
+	for _, res := range residents {
+		p.tracker.FeaturesByID(res.id, res.size, p.now, p.store.Free(), p.buf)
+		p.rank.Update(res.id, p.model.Predict(p.buf))
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+
+	"lfo/internal/features"
+	"lfo/internal/gbdt"
+	"lfo/internal/opt"
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+// Extraction is an aligned set of online feature vectors and OPT labels
+// for one trace window — the offline counterpart of LFO's training
+// pipeline, used by the accuracy experiments (Fig 5a/5b/5c) where
+// prediction error is measured against OPT rather than through cache
+// metrics.
+//
+// The free-bytes feature requires a cache state; offline extraction
+// replays the window against a plain LRU reference cache of the same
+// capacity, which makes the features deterministic and independent of the
+// model under study.
+type Extraction struct {
+	// Feats is a flat row-major matrix, features.Dim wide.
+	Feats []float64
+	// Labels[i] reports whether OPT admits request i.
+	Labels []bool
+	// Requests is the number of rows.
+	Requests int
+}
+
+// Extract computes features and OPT labels for every request in the trace.
+func Extract(tr *trace.Trace, cfg Config) (*Extraction, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CacheSize <= 0 {
+		return nil, fmt.Errorf("core: CacheSize must be positive, got %d", cfg.CacheSize)
+	}
+	res, err := opt.Compute(tr, cfg.OPT)
+	if err != nil {
+		return nil, err
+	}
+
+	tracker := features.NewTracker(cfg.MaxTrackedObjects)
+	ref := newRefLRU(cfg.CacheSize)
+	ex := &Extraction{
+		Feats:    make([]float64, 0, tr.Len()*features.Dim),
+		Labels:   res.Admit,
+		Requests: tr.Len(),
+	}
+	buf := make([]float64, features.Dim)
+	for _, r := range tr.Requests {
+		tracker.Features(r, ref.free(), buf)
+		ex.Feats = append(ex.Feats, buf...)
+		tracker.Update(r)
+		ref.request(r)
+	}
+	return ex, nil
+}
+
+// Row returns feature row i.
+func (e *Extraction) Row(i int) []float64 {
+	return e.Feats[i*features.Dim : (i+1)*features.Dim]
+}
+
+// Dataset converts the extraction into a training set.
+func (e *Extraction) Dataset() *gbdt.Dataset {
+	ds := gbdt.NewDataset(features.Dim)
+	for i := 0; i < e.Requests; i++ {
+		label := 0.0
+		if e.Labels[i] {
+			label = 1
+		}
+		ds.Append(e.Row(i), label)
+	}
+	return ds
+}
+
+// Subset returns an extraction over rows [lo, hi).
+func (e *Extraction) Subset(lo, hi int) *Extraction {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > e.Requests {
+		hi = e.Requests
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return &Extraction{
+		Feats:    e.Feats[lo*features.Dim : hi*features.Dim],
+		Labels:   e.Labels[lo:hi],
+		Requests: hi - lo,
+	}
+}
+
+// EvalResult quantifies a model's agreement with OPT on an extraction.
+type EvalResult struct {
+	// Error is the disagreement rate (1 − accuracy) at the cutoff.
+	Error float64
+	// FalsePositiveRate is the share of OPT-rejected requests the model
+	// admits ("accidentally admitted", Fig 5a).
+	FalsePositiveRate float64
+	// FalseNegativeRate is the share of OPT-admitted requests the model
+	// rejects ("accidentally not admitted", Fig 5a).
+	FalseNegativeRate float64
+	// Positives is the number of OPT-admitted requests.
+	Positives int
+	// Negatives is the number of OPT-rejected requests.
+	Negatives int
+}
+
+// Evaluate measures model-vs-OPT agreement on the extraction at the given
+// admission cutoff.
+func Evaluate(m *gbdt.Model, e *Extraction, cutoff float64) EvalResult {
+	var res EvalResult
+	fp, fn := 0, 0
+	for i := 0; i < e.Requests; i++ {
+		pred := m.Predict(e.Row(i)) >= cutoff
+		if e.Labels[i] {
+			res.Positives++
+			if !pred {
+				fn++
+			}
+		} else {
+			res.Negatives++
+			if pred {
+				fp++
+			}
+		}
+	}
+	if e.Requests > 0 {
+		res.Error = float64(fp+fn) / float64(e.Requests)
+	}
+	if res.Negatives > 0 {
+		res.FalsePositiveRate = float64(fp) / float64(res.Negatives)
+	}
+	if res.Positives > 0 {
+		res.FalseNegativeRate = float64(fn) / float64(res.Positives)
+	}
+	return res
+}
+
+// TrainOnWindow extracts a window and fits a model to it — the offline
+// equivalent of one Figure 2 training round.
+func TrainOnWindow(tr *trace.Trace, cfg Config) (*gbdt.Model, *Extraction, error) {
+	cfg = cfg.withDefaults()
+	ex, err := Extract(tr, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := gbdt.Train(ex.Dataset(), cfg.GBDT)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, ex, nil
+}
+
+// refLRU is the minimal reference cache that supplies the free-bytes
+// feature during offline extraction.
+type refLRU struct {
+	store *sim.Store[*list.Element]
+	lru   *list.List
+}
+
+func newRefLRU(capacity int64) *refLRU {
+	return &refLRU{store: sim.NewStore[*list.Element](capacity), lru: list.New()}
+}
+
+func (c *refLRU) free() int64 { return c.store.Free() }
+
+func (c *refLRU) request(r trace.Request) {
+	if e := c.store.Get(r.ID); e != nil {
+		c.lru.MoveToFront(e.Payload)
+		return
+	}
+	if r.Size > c.store.Capacity() {
+		return
+	}
+	for !c.store.Fits(r.Size) {
+		tail := c.lru.Back()
+		id := tail.Value.(trace.ObjectID)
+		c.lru.Remove(tail)
+		c.store.Remove(id)
+	}
+	e := c.store.Add(r.ID, r.Size)
+	e.Payload = c.lru.PushFront(r.ID)
+}

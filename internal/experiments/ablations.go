@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"lfo/internal/core"
+	"lfo/internal/features"
+	"lfo/internal/gbdt"
+	"lfo/internal/opt"
+	"lfo/internal/sim"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+// RankFractionPoint measures the OPT ranking approximation (§2.1).
+type RankFractionPoint struct {
+	Fraction float64
+	// SolveTime is the OPT computation wall time.
+	SolveTime time.Duration
+	// HitBytesShare is the approximation's OPT hit bytes relative to the
+	// exact solve.
+	HitBytesShare float64
+	// Agreement is the per-request decision agreement with the exact
+	// solve.
+	Agreement float64
+}
+
+// AblationRankFraction quantifies the paper's claim that ranking by
+// C/(S·L) and solving only the top share of intervals saves most of the
+// computation time at minor decision cost.
+func AblationRankFraction(cfg Config, fractions []float64) ([]RankFractionPoint, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{1.0, 0.5, 0.3, 0.1}
+	}
+	tr, err := cfg.cdnTrace()
+	if err != nil {
+		return nil, err
+	}
+	var exact *opt.Result
+	var out []RankFractionPoint
+	for _, f := range fractions {
+		start := time.Now()
+		res, err := opt.Compute(tr, opt.Config{
+			CacheSize:    cfg.CacheSize,
+			Algorithm:    opt.AlgoFlow,
+			RankFraction: f,
+		})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if exact == nil {
+			exact = res // fractions[0] must be 1.0 for exact baseline
+		}
+		agree := 0
+		for i := range res.Admit {
+			if res.Admit[i] == exact.Admit[i] {
+				agree++
+			}
+		}
+		pt := RankFractionPoint{
+			Fraction:  f,
+			SolveTime: elapsed,
+			Agreement: float64(agree) / float64(len(res.Admit)),
+		}
+		if exact.HitBytes > 0 {
+			pt.HitBytesShare = float64(res.HitBytes) / float64(exact.HitBytes)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// AblationRankFractionTable formats the rank-fraction ablation.
+func AblationRankFractionTable(pts []RankFractionPoint) *Table {
+	t := &Table{
+		Title:  "Ablation: OPT rank-based trace splitting (C/(S·L), §2.1)",
+		Header: []string{"fraction solved", "solve time", "hit-bytes share", "decision agreement"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", p.Fraction),
+			p.SolveTime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.3f", p.HitBytesShare),
+			fmt.Sprintf("%.3f", p.Agreement),
+		})
+	}
+	return t
+}
+
+// FeatureVariantResult compares feature-engineering variants.
+type FeatureVariantResult struct {
+	Variant string
+	// ErrPct is the next-window prediction error.
+	ErrPct float64
+	// Splits is the number of split nodes in the trained model (a model
+	// size/speed proxy).
+	Splits int
+}
+
+// AblationFeatureVariants compares §2.2's design choices on one
+// train/eval window pair:
+//
+//   - "gaps" — LFO's shift-invariant inter-arrival gaps (the paper's
+//     choice);
+//   - "absolute" — LRU-K style absolute time-since-request features
+//     (cumulative sums of the gaps);
+//   - "thinned" — only gaps 1, 2, 4, 8, 16, 32 retained (the paper's
+//     proposed model speed-up, §3).
+func AblationFeatureVariants(cfg Config) ([]FeatureVariantResult, error) {
+	tr, err := cfg.cdnTrace()
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.Window
+	if 2*w > tr.Len() {
+		w = tr.Len() / 2
+	}
+	lcfg := cfg.lfoConfig()
+	trainEx, err := core.Extract(tr.Slice(0, w), lcfg)
+	if err != nil {
+		return nil, err
+	}
+	evalEx, err := core.Extract(tr.Slice(w, 2*w), lcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	variants := []struct {
+		name string
+		mut  func(*core.Extraction) *core.Extraction
+	}{
+		{"gaps (LFO)", func(e *core.Extraction) *core.Extraction { return e }},
+		{"absolute (LRU-K style)", toAbsoluteTimes},
+		{"thinned gaps {1,2,4,8,16,32}", thinGaps},
+		{"log2-quantized gaps", quantizeGaps},
+	}
+	var out []FeatureVariantResult
+	for _, v := range variants {
+		trainV := v.mut(cloneExtraction(trainEx))
+		evalV := v.mut(cloneExtraction(evalEx))
+		model, err := gbdt.Train(trainV.Dataset(), lcfg.GBDT)
+		if err != nil {
+			return nil, err
+		}
+		ev := core.Evaluate(model, evalV, 0.5)
+		out = append(out, FeatureVariantResult{
+			Variant: v.name,
+			ErrPct:  100 * ev.Error,
+			Splits:  countSplits(model),
+		})
+	}
+	return out, nil
+}
+
+func countSplits(m *gbdt.Model) int {
+	n := 0
+	for i := range m.Trees {
+		n += len(m.Trees[i].Nodes) / 2 // splits = (nodes-1)/2 per tree; close enough per-model
+	}
+	return n
+}
+
+func cloneExtraction(e *core.Extraction) *core.Extraction {
+	return &core.Extraction{
+		Feats:    append([]float64(nil), e.Feats...),
+		Labels:   e.Labels,
+		Requests: e.Requests,
+	}
+}
+
+// toAbsoluteTimes converts gap features into LRU-K-style absolute
+// "time since k-th most recent request" features via prefix sums.
+func toAbsoluteTimes(e *core.Extraction) *core.Extraction {
+	for i := 0; i < e.Requests; i++ {
+		row := e.Feats[i*features.Dim : (i+1)*features.Dim]
+		sum := 0.0
+		for g := 0; g < features.NumGaps; g++ {
+			v := row[features.FeatGap0+g]
+			if math.IsNaN(v) {
+				break
+			}
+			sum += v
+			row[features.FeatGap0+g] = sum
+		}
+	}
+	return e
+}
+
+// thinGaps keeps only gaps 1, 2, 4, 8, 16, 32, masking the rest.
+func thinGaps(e *core.Extraction) *core.Extraction {
+	keep := map[int]bool{1: true, 2: true, 4: true, 8: true, 16: true, 32: true}
+	for i := 0; i < e.Requests; i++ {
+		row := e.Feats[i*features.Dim : (i+1)*features.Dim]
+		for g := 1; g <= features.NumGaps; g++ {
+			if !keep[g] {
+				row[features.FeatGap0+g-1] = features.Missing
+			}
+		}
+	}
+	return e
+}
+
+// quantizeGaps coarsens every gap to the nearest power of two — §2.2's
+// "we can likely decrease the feature accuracy without affecting the
+// learning results" (a 4-bit representation per gap would suffice).
+func quantizeGaps(e *core.Extraction) *core.Extraction {
+	for i := 0; i < e.Requests; i++ {
+		row := e.Feats[i*features.Dim : (i+1)*features.Dim]
+		for g := 0; g < features.NumGaps; g++ {
+			v := row[features.FeatGap0+g]
+			if math.IsNaN(v) || v <= 0 {
+				continue
+			}
+			row[features.FeatGap0+g] = math.Pow(2, math.Round(math.Log2(v)))
+		}
+	}
+	return e
+}
+
+// AblationFeatureVariantsTable formats the feature-variant ablation.
+func AblationFeatureVariantsTable(rs []FeatureVariantResult) *Table {
+	t := &Table{
+		Title:  "Ablation: feature engineering variants (§2.2, §3)",
+		Header: []string{"variant", "next-window err%", "split nodes"},
+	}
+	for _, r := range rs {
+		t.Rows = append(t.Rows, []string{r.Variant, fmt.Sprintf("%.2f", r.ErrPct), fmt.Sprintf("%d", r.Splits)})
+	}
+	return t
+}
+
+// PolicyDesignResult compares LFO policy-design variants (§2.4 and §5's
+// "policy design" discussion).
+type PolicyDesignResult struct {
+	Variant string
+	BHR     float64
+	OHR     float64
+}
+
+// AblationPolicyDesign compares the full LFO policy against variants that
+// disable parts of §2.4's design: hit-triggered eviction off, and a
+// higher (more aggressive) cutoff as §3 suggests.
+func AblationPolicyDesign(cfg Config) ([]PolicyDesignResult, error) {
+	tr, err := cfg.cdnTrace()
+	if err != nil {
+		return nil, err
+	}
+	opts := sim.Options{Warmup: cfg.Window}
+	variants := []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"LFO (paper defaults)", func(c *core.Config) {}},
+		{"no evict-on-hit", func(c *core.Config) { c.DisableEvictOnHit = true }},
+		{"cutoff 0.65 (aggressive)", func(c *core.Config) { c.Cutoff = 0.65 }},
+		{"cutoff 0.25 (permissive)", func(c *core.Config) { c.Cutoff = 0.25 }},
+	}
+	var out []PolicyDesignResult
+	for _, v := range variants {
+		c := core.Config{
+			CacheSize:  cfg.CacheSize,
+			WindowSize: cfg.Window,
+			OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
+		}
+		v.mut(&c)
+		lfo, err := core.New(c)
+		if err != nil {
+			return nil, err
+		}
+		m := sim.Run(tr, lfo, opts)
+		out = append(out, PolicyDesignResult{Variant: v.name, BHR: m.BHR(), OHR: m.OHR()})
+	}
+	return out, nil
+}
+
+// AblationPolicyDesignTable formats the policy-design ablation.
+func AblationPolicyDesignTable(rs []PolicyDesignResult) *Table {
+	t := &Table{
+		Title:  "Ablation: LFO policy design (§2.4)",
+		Header: []string{"variant", "BHR", "OHR"},
+	}
+	for _, r := range rs {
+		t.Rows = append(t.Rows, []string{r.Variant, fmt.Sprintf("%.4f", r.BHR), fmt.Sprintf("%.4f", r.OHR)})
+	}
+	return t
+}
+
+// IterationsResult compares boosting iteration counts (§2.3: the paper
+// cut LightGBM's 100 iterations to 30).
+type IterationsResult struct {
+	Iterations int
+	ErrPct     float64
+	TrainTime  time.Duration
+}
+
+// AblationIterations sweeps the boosting iteration count.
+func AblationIterations(cfg Config, iters []int) ([]IterationsResult, error) {
+	if len(iters) == 0 {
+		iters = []int{10, 30, 100}
+	}
+	tr, err := cfg.cdnTrace()
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.Window
+	if 2*w > tr.Len() {
+		w = tr.Len() / 2
+	}
+	lcfg := cfg.lfoConfig()
+	trainEx, err := core.Extract(tr.Slice(0, w), lcfg)
+	if err != nil {
+		return nil, err
+	}
+	evalEx, err := core.Extract(tr.Slice(w, 2*w), lcfg)
+	if err != nil {
+		return nil, err
+	}
+	ds := trainEx.Dataset()
+	var out []IterationsResult
+	for _, it := range iters {
+		p := lcfg.GBDT
+		p.NumIterations = it
+		start := time.Now()
+		model, err := gbdt.Train(ds, p)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		ev := core.Evaluate(model, evalEx, 0.5)
+		out = append(out, IterationsResult{Iterations: it, ErrPct: 100 * ev.Error, TrainTime: elapsed})
+	}
+	return out, nil
+}
+
+// AblationIterationsTable formats the iterations ablation.
+func AblationIterationsTable(rs []IterationsResult) *Table {
+	t := &Table{
+		Title:  "Ablation: boosting iterations (§2.3: paper uses 30 of LightGBM's default 100)",
+		Header: []string{"iterations", "next-window err%", "train time"},
+	}
+	for _, r := range rs {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Iterations),
+			fmt.Sprintf("%.2f", r.ErrPct),
+			r.TrainTime.Round(time.Millisecond).String(),
+		})
+	}
+	return t
+}

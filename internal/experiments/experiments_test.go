@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// The experiment tests validate the paper's qualitative shape targets at
+// Quick() scale; EXPERIMENTS.md records the full-scale numbers.
+
+func quick(t *testing.T) Config {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment harness skipped in -short mode")
+	}
+	return Quick()
+}
+
+func TestFig1Shape(t *testing.T) {
+	rs, err := Fig1(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PolicyResult{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	gdsf, rlc, lru, rnd := byName["GDSF"], byName["RLC"], byName["LRU"], byName["RND"]
+	// Shape: GDSF beats RND, LRU and RLC (Fig 1's point).
+	for _, weak := range []PolicyResult{rlc, lru, rnd} {
+		if gdsf.OHR <= weak.OHR {
+			t.Errorf("GDSF OHR %.4f <= %s %.4f", gdsf.OHR, weak.Name, weak.OHR)
+		}
+	}
+	// RLC lands in the RND/LRU band, far from GDSF (within the band ±
+	// a generous margin, not above GDSF).
+	band := gdsf.OHR - maxF(rnd.OHR, lru.OHR)
+	if band <= 0 {
+		t.Fatalf("no separation between GDSF and simple policies")
+	}
+	if rlc.OHR > gdsf.OHR-band/2 {
+		t.Errorf("RLC OHR %.4f not clearly below GDSF %.4f", rlc.OHR, gdsf.OHR)
+	}
+	tbl := Fig1Table(rs)
+	if !strings.Contains(tbl.String(), "GDSF") {
+		t.Error("table missing GDSF row")
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestAccuracyHeadline(t *testing.T) {
+	res, err := Accuracy(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: >93% on its production trace. Synthetic mixes are noisier;
+	// requires a clearly-learned signal.
+	if res.Accuracy < 0.80 {
+		t.Errorf("accuracy %.3f, want >= 0.80", res.Accuracy)
+	}
+	if res.Accuracy > 0.999 {
+		t.Errorf("accuracy %.3f suspiciously perfect", res.Accuracy)
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	pts, err := Fig5a(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 10 {
+		t.Fatalf("only %d cutoff points", len(pts))
+	}
+	// FP monotone non-increasing, FN monotone non-decreasing in cutoff.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FalsePositivePct > pts[i-1].FalsePositivePct+1e-9 {
+			t.Errorf("FP%% increased at cutoff %.2f", pts[i].Cutoff)
+		}
+		if pts[i].FalseNegativePct < pts[i-1].FalseNegativePct-1e-9 {
+			t.Errorf("FN%% decreased at cutoff %.2f", pts[i].Cutoff)
+		}
+	}
+	Fig5aTable(pts) // rendering must not panic
+}
+
+func TestFig5bShape(t *testing.T) {
+	cfg := quick(t)
+	pts, err := Fig5b(cfg, []int{2500, 10000, 20000}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Error with the largest training set must not exceed the smallest
+	// by more than noise (decaying trend).
+	if pts[2].MeanErrPct > pts[0].MeanErrPct+2 {
+		t.Errorf("error grew with training size: %.2f -> %.2f", pts[0].MeanErrPct, pts[2].MeanErrPct)
+	}
+	for _, p := range pts {
+		if p.MinErrPct > p.MeanErrPct || p.MeanErrPct > p.MaxErrPct {
+			t.Errorf("min/mean/max ordering broken at %d samples", p.Samples)
+		}
+	}
+	Fig5bTable(pts)
+}
+
+func TestFig5cShape(t *testing.T) {
+	cfg := quick(t)
+	cfg.Window = 6000
+	res, err := Fig5c(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ErrPcts) != 6 {
+		t.Fatalf("errs = %d", len(res.ErrPcts))
+	}
+	// Robustness claim: small spread across seeds/subsets. The paper
+	// reports ~0.5pp on one fixed trace; across different synthetic
+	// subsets allow a few points.
+	if res.SpreadPct > 10 {
+		t.Errorf("seed spread %.2fpp implausibly high", res.SpreadPct)
+	}
+	if res.MeanErrPct <= 0 || res.MeanErrPct >= 50 {
+		t.Errorf("mean error %.2f%% out of plausible range", res.MeanErrPct)
+	}
+	Fig5cTable(res)
+}
+
+func TestFig6Shape(t *testing.T) {
+	res, err := Fig6(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PolicyResult{}
+	for _, p := range res.Policies {
+		byName[p.Name] = p
+	}
+	lfo := byName["LFO"]
+	// Core shape targets: OPT bounds everything; LFO beats LRU; LFO is a
+	// large share of OPT.
+	if res.OPT.BHR < lfo.BHR {
+		t.Errorf("OPT BHR %.4f < LFO %.4f", res.OPT.BHR, lfo.BHR)
+	}
+	if lfo.BHR <= byName["LRU"].BHR {
+		t.Errorf("LFO BHR %.4f <= LRU %.4f", lfo.BHR, byName["LRU"].BHR)
+	}
+	if res.LFOShareOfOPT < 0.5 {
+		t.Errorf("LFO/OPT = %.2f, want >= 0.5", res.LFOShareOfOPT)
+	}
+	// Every policy must be within the OPT bound.
+	for _, p := range res.Policies {
+		if p.BHR > res.OPT.BHR+1e-9 {
+			t.Errorf("%s BHR %.4f exceeds OPT %.4f", p.Name, p.BHR, res.OPT.BHR)
+		}
+	}
+	Fig6Table(res, "bhr")
+}
+
+func TestFig7Shape(t *testing.T) {
+	cfg := quick(t)
+	cfg.Requests = 20000
+	cfg.Window = 10000
+	pts, err := Fig7(cfg, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].ReqsPerSec < 10000 {
+		t.Errorf("single-thread throughput %.0f req/s implausibly low", pts[0].ReqsPerSec)
+	}
+	// Scaling: with real cores available, 4 threads should beat 1 thread
+	// (generously: >1.5×). On a single-CPU host only require that the
+	// parallel path is not catastrophically slower.
+	if runtime.NumCPU() >= 4 {
+		if pts[2].ReqsPerSec < 1.5*pts[0].ReqsPerSec {
+			t.Errorf("4 threads %.0f < 1.5× single thread %.0f", pts[2].ReqsPerSec, pts[0].ReqsPerSec)
+		}
+	} else if pts[2].ReqsPerSec < 0.4*pts[0].ReqsPerSec {
+		t.Errorf("4 threads %.0f < 0.4× single thread %.0f on %d-CPU host", pts[2].ReqsPerSec, pts[0].ReqsPerSec, runtime.NumCPU())
+	}
+	Fig7Table(pts)
+}
+
+func TestFig8Shape(t *testing.T) {
+	cfg := quick(t)
+	entries, model, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil {
+		t.Fatal("no model")
+	}
+	imp := map[string]float64{}
+	total := 0.0
+	for _, e := range entries {
+		imp[e.Feature] = e.Percent
+		total += e.Percent
+	}
+	if total < 99.9 || total > 100.1 {
+		t.Errorf("importances sum to %.2f%%, want 100%%", total)
+	}
+	// Shape targets: size dominates; cost unused under BHR (redundant
+	// with size); gap1 heavily used.
+	if imp["size"] < imp["cost"] {
+		t.Errorf("size %.2f%% below cost %.2f%%", imp["size"], imp["cost"])
+	}
+	if imp["cost"] > 5 {
+		t.Errorf("cost feature used in %.2f%% of branches, paper says unused for BHR", imp["cost"])
+	}
+	if imp["gap1"] <= 0 {
+		t.Error("gap1 unused, paper says gaps 1-4 are heavily used")
+	}
+	Fig8Table(entries)
+}
+
+func TestAblationRankFraction(t *testing.T) {
+	cfg := quick(t)
+	cfg.Requests = 10000
+	pts, err := AblationRankFraction(cfg, []float64{1.0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Agreement != 1.0 {
+		t.Errorf("exact baseline agreement = %.3f, want 1.0", pts[0].Agreement)
+	}
+	if pts[1].Agreement < 0.7 {
+		t.Errorf("0.3-fraction agreement %.3f implausibly low", pts[1].Agreement)
+	}
+	if pts[1].HitBytesShare > 1.0+1e-9 {
+		t.Errorf("approximation hit bytes exceed exact: %.3f", pts[1].HitBytesShare)
+	}
+	AblationRankFractionTable(pts)
+}
+
+func TestAblationFeatureVariants(t *testing.T) {
+	cfg := quick(t)
+	cfg.Requests = 16000
+	cfg.Window = 8000
+	rs, err := AblationFeatureVariants(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("variants = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.ErrPct <= 0 || r.ErrPct >= 60 {
+			t.Errorf("%s: err %.2f%% out of plausible range", r.Variant, r.ErrPct)
+		}
+		if r.Splits <= 0 {
+			t.Errorf("%s: no splits", r.Variant)
+		}
+	}
+	AblationFeatureVariantsTable(rs)
+}
+
+func TestAblationPolicyDesign(t *testing.T) {
+	cfg := quick(t)
+	cfg.Requests = 20000
+	cfg.Window = 5000
+	rs, err := AblationPolicyDesign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("variants = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.BHR <= 0 || r.BHR >= 1 {
+			t.Errorf("%s: BHR %.4f degenerate", r.Variant, r.BHR)
+		}
+	}
+	AblationPolicyDesignTable(rs)
+}
+
+func TestAblationIterations(t *testing.T) {
+	cfg := quick(t)
+	cfg.Requests = 12000
+	cfg.Window = 6000
+	rs, err := AblationIterations(cfg, []int{5, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	if rs[1].TrainTime < rs[0].TrainTime {
+		t.Error("30 iterations trained faster than 5")
+	}
+	AblationIterationsTable(rs)
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"xxxxx", "y"}},
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "== demo ==") || !strings.Contains(s, "xxxxx") {
+		t.Errorf("bad render:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Errorf("want 3 lines, got %d", len(lines))
+	}
+}
+
+func TestTieredExperiment(t *testing.T) {
+	cfg := quick(t)
+	cfg.Requests = 24000
+	rs, err := TieredExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("variants = %d", len(rs))
+	}
+	byName := map[string]TieredResult{}
+	for _, r := range rs {
+		byName[r.Variant] = r
+		if r.BHR <= 0 || r.BHR >= 1 {
+			t.Errorf("%s: BHR %.4f degenerate", r.Variant, r.BHR)
+		}
+	}
+	// Learned admission must beat admit-all with the same placement.
+	learned := byName["LFO admission + size placement"]
+	naive := byName["admit-all + size placement"]
+	if learned.BHR <= naive.BHR {
+		t.Errorf("learned admission BHR %.4f <= admit-all %.4f", learned.BHR, naive.BHR)
+	}
+	TieredTable(rs)
+}
+
+func TestRobustness(t *testing.T) {
+	cfg := quick(t)
+	cfg.Requests = 30000
+	cfg.Window = 7500
+	rs, err := Robustness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]RobustnessResult{}
+	for _, r := range rs {
+		byName[r.Policy] = r
+		if r.CleanBHR <= 0 {
+			t.Errorf("%s: zero clean BHR", r.Policy)
+		}
+	}
+	// Admission-controlled LFO must degrade less than admit-all LRU.
+	lfo, lru := byName["LFO"], byName["LRU"]
+	if lfo.Degradation >= lru.Degradation {
+		t.Errorf("LFO degradation %.3f >= LRU %.3f under scans", lfo.Degradation, lru.Degradation)
+	}
+	RobustnessTable(rs)
+}

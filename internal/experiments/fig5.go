@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lfo/internal/core"
+)
+
+// CutoffPoint is one point of the Fig 5a sweep.
+type CutoffPoint struct {
+	Cutoff           float64
+	FalsePositivePct float64 // "accidentally admitted"
+	FalseNegativePct float64 // "accidentally not admitted"
+	PredictionErrPct float64
+}
+
+// Fig5a reproduces Figure 5a: false positive and false negative rates as
+// a function of the likelihood cutoff. The paper's shape targets: both
+// rates are roughly stable between cutoffs .25 and .75; FN explodes below
+// .25 and FP explodes above .75.
+func Fig5a(cfg Config) ([]CutoffPoint, error) {
+	tr, err := cfg.cdnTrace()
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.Window
+	if 2*w > tr.Len() {
+		w = tr.Len() / 2
+	}
+	lcfg := cfg.lfoConfig()
+	model, _, err := core.TrainOnWindow(tr.Slice(0, w), lcfg)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := core.Extract(tr.Slice(w, 2*w), lcfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []CutoffPoint
+	for c := 0.05; c <= 0.951; c += 0.05 {
+		ev := core.Evaluate(model, ex, c)
+		out = append(out, CutoffPoint{
+			Cutoff:           c,
+			FalsePositivePct: 100 * ev.FalsePositiveRate,
+			FalseNegativePct: 100 * ev.FalseNegativeRate,
+			PredictionErrPct: 100 * ev.Error,
+		})
+	}
+	return out, nil
+}
+
+// Fig5aTable formats Fig5a results.
+func Fig5aTable(pts []CutoffPoint) *Table {
+	t := &Table{
+		Title:  "Fig 5a: false positives/negatives vs likelihood cutoff",
+		Header: []string{"cutoff", "FP% (accid. admitted)", "FN% (accid. not admitted)", "error%"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", p.Cutoff),
+			fmt.Sprintf("%.2f", p.FalsePositivePct),
+			fmt.Sprintf("%.2f", p.FalseNegativePct),
+			fmt.Sprintf("%.2f", p.PredictionErrPct),
+		})
+	}
+	return t
+}
+
+// TrainingSizePoint is one point of the Fig 5b sweep.
+type TrainingSizePoint struct {
+	Samples int
+	// ErrPct values across the repeated subsets.
+	MeanErrPct, MinErrPct, MaxErrPct float64
+}
+
+// Fig5b reproduces Figure 5b: prediction error as a function of the
+// training-set size, repeated over random trace subsets. Shape targets:
+// error below ~6.5% already at the smallest sizes, decaying and
+// stabilizing as the training set grows.
+func Fig5b(cfg Config, sizes []int, repeats int) ([]TrainingSizePoint, error) {
+	if len(sizes) == 0 {
+		sizes = []int{2500, 5000, 10000, 20000, 40000}
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	lcfg := cfg.lfoConfig()
+	var out []TrainingSizePoint
+	for _, n := range sizes {
+		pt := TrainingSizePoint{Samples: n, MinErrPct: 101}
+		var sum float64
+		for rep := 0; rep < repeats; rep++ {
+			// A fresh trace subset per repeat (different generator seed),
+			// like the paper's "ten random subsets of the trace".
+			sub := cfg
+			sub.Seed = cfg.Seed + int64(rep)*1000
+			sub.Requests = 2 * n
+			tr, err := sub.cdnTrace()
+			if err != nil {
+				return nil, err
+			}
+			model, _, err := core.TrainOnWindow(tr.Slice(0, n), lcfg)
+			if err != nil {
+				return nil, err
+			}
+			ex, err := core.Extract(tr.Slice(n, 2*n), lcfg)
+			if err != nil {
+				return nil, err
+			}
+			errPct := 100 * core.Evaluate(model, ex, 0.5).Error
+			sum += errPct
+			if errPct < pt.MinErrPct {
+				pt.MinErrPct = errPct
+			}
+			if errPct > pt.MaxErrPct {
+				pt.MaxErrPct = errPct
+			}
+		}
+		pt.MeanErrPct = sum / float64(repeats)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Fig5bTable formats Fig5b results.
+func Fig5bTable(pts []TrainingSizePoint) *Table {
+	t := &Table{
+		Title:  "Fig 5b: prediction error vs training set size",
+		Header: []string{"samples", "mean err%", "min err%", "max err%"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Samples),
+			fmt.Sprintf("%.2f", p.MeanErrPct),
+			fmt.Sprintf("%.2f", p.MinErrPct),
+			fmt.Sprintf("%.2f", p.MaxErrPct),
+		})
+	}
+	return t
+}
+
+// SeedResult summarizes the Fig 5c seed-sensitivity experiment.
+type SeedResult struct {
+	Seeds      int
+	ErrPcts    []float64
+	MeanErrPct float64
+	MinErrPct  float64
+	MaxErrPct  float64
+	// SpreadPct is max − min; the paper's robustness claim is a spread
+	// within about half a percentage point on its trace.
+	SpreadPct float64
+}
+
+// Fig5c reproduces Figure 5c: prediction error across random seeds and
+// trace subsets. The learner uses bagging and feature subsampling so the
+// seed genuinely matters; the shape target is a small spread.
+func Fig5c(cfg Config, seeds int) (*SeedResult, error) {
+	if seeds <= 0 {
+		seeds = 100
+	}
+	w := cfg.Window
+	lcfg := cfg.lfoConfig()
+	lcfg.GBDT.BaggingFraction = 0.8
+	lcfg.GBDT.BaggingFreq = 1
+	lcfg.GBDT.FeatureFraction = 0.9
+
+	res := &SeedResult{Seeds: seeds, MinErrPct: 101}
+	var sum float64
+	for s := 0; s < seeds; s++ {
+		sub := cfg
+		// Different trace subset per seed (like the paper's 100 subsets).
+		sub.Seed = cfg.Seed + int64(s)
+		sub.Requests = 2 * w
+		tr, err := sub.cdnTrace()
+		if err != nil {
+			return nil, err
+		}
+		lcfg.GBDT.Seed = int64(s)
+		model, _, err := core.TrainOnWindow(tr.Slice(0, w), lcfg)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := core.Extract(tr.Slice(w, 2*w), lcfg)
+		if err != nil {
+			return nil, err
+		}
+		errPct := 100 * core.Evaluate(model, ex, 0.5).Error
+		res.ErrPcts = append(res.ErrPcts, errPct)
+		sum += errPct
+		if errPct < res.MinErrPct {
+			res.MinErrPct = errPct
+		}
+		if errPct > res.MaxErrPct {
+			res.MaxErrPct = errPct
+		}
+	}
+	res.MeanErrPct = sum / float64(seeds)
+	res.SpreadPct = res.MaxErrPct - res.MinErrPct
+	return res, nil
+}
+
+// Fig5cTable formats Fig5c results.
+func Fig5cTable(r *SeedResult) *Table {
+	t := &Table{
+		Title:  "Fig 5c: prediction error across random seeds / trace subsets",
+		Header: []string{"seeds", "mean err%", "min err%", "max err%", "spread (pp)"},
+	}
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("%d", r.Seeds),
+		fmt.Sprintf("%.2f", r.MeanErrPct),
+		fmt.Sprintf("%.2f", r.MinErrPct),
+		fmt.Sprintf("%.2f", r.MaxErrPct),
+		fmt.Sprintf("%.2f", r.SpreadPct),
+	})
+	return t
+}

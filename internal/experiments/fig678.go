@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"lfo/internal/core"
+	"lfo/internal/features"
+	"lfo/internal/gbdt"
+	"lfo/internal/opt"
+	"lfo/internal/policy"
+	"lfo/internal/sim"
+)
+
+// Fig6Result holds the full policy comparison plus the OPT bound.
+type Fig6Result struct {
+	// Policies is sorted descending by BHR, like the paper's Figure 6.
+	Policies []PolicyResult
+	// OPT is the offline-optimal bound on the same trace (post-warmup
+	// portion measured identically).
+	OPT PolicyResult
+	// LFOShareOfOPT is LFO's BHR divided by OPT's (paper: ≈80%).
+	LFOShareOfOPT float64
+}
+
+// fig6PolicyNames is the paper's Figure 6 line-up (we additionally carry
+// FIFO, LFU and TinyLFU as context rows).
+var fig6PolicyNames = []string{
+	"lru", "lruk", "lfuda", "s4lru", "gdwheel", "adaptsize", "hyperbolic", "lhd",
+	"fifo", "lfu", "gdsf", "tinylfu",
+}
+
+// Fig6 reproduces Figure 6: BHR of LFO against the state-of-the-art
+// policies and OPT. Shape targets: OPT > LFO > best heuristic; LFO at
+// roughly 80% of OPT.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	tr, err := cfg.cdnTrace()
+	if err != nil {
+		return nil, err
+	}
+	warmup := cfg.Window // first LFO window is bootstrap; exclude for all
+	opts := sim.Options{Warmup: warmup}
+
+	res := &Fig6Result{}
+	for _, name := range fig6PolicyNames {
+		p, err := policy.New(name, cfg.CacheSize, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m := sim.Run(tr, p, opts)
+		res.Policies = append(res.Policies, PolicyResult{Name: m.Policy, BHR: m.BHR(), OHR: m.OHR()})
+	}
+
+	lfo, err := core.New(core.Config{
+		CacheSize:  cfg.CacheSize,
+		WindowSize: cfg.Window,
+		OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
+	})
+	if err != nil {
+		return nil, err
+	}
+	lfoM := sim.Run(tr, lfo, opts)
+	lfoRes := PolicyResult{Name: lfoM.Policy, BHR: lfoM.BHR(), OHR: lfoM.OHR()}
+	res.Policies = append(res.Policies, lfoRes)
+
+	// OPT bound over the measured (post-warmup) portion.
+	optRes, err := opt.Compute(tr.Slice(warmup, tr.Len()), opt.Config{
+		CacheSize: cfg.CacheSize,
+		Algorithm: opt.AlgoAuto,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.OPT = PolicyResult{Name: "OPT", BHR: optRes.BHR(), OHR: optRes.OHR()}
+	if res.OPT.BHR > 0 {
+		res.LFOShareOfOPT = lfoRes.BHR / res.OPT.BHR
+	}
+	sortByBHR(res.Policies)
+	return res, nil
+}
+
+// Fig6Table formats Fig6 results.
+func Fig6Table(r *Fig6Result, objective string) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 6: policy comparison (%s objective)", objective),
+		Header: []string{"policy", "BHR", "OHR"},
+	}
+	add := func(p PolicyResult) {
+		t.Rows = append(t.Rows, []string{p.Name, fmt.Sprintf("%.4f", p.BHR), fmt.Sprintf("%.4f", p.OHR)})
+	}
+	add(r.OPT)
+	for _, p := range r.Policies {
+		add(p)
+	}
+	t.Rows = append(t.Rows, []string{"LFO/OPT", fmt.Sprintf("%.1f%%", 100*r.LFOShareOfOPT), ""})
+	return t
+}
+
+// ThroughputPoint is one Figure 7 measurement.
+type ThroughputPoint struct {
+	Threads int
+	// ReqsPerSec is the sustained prediction throughput.
+	ReqsPerSec float64
+	// GbitAt32KB is the link rate those predictions can drive assuming
+	// the paper's 32 KB mean object size.
+	GbitAt32KB float64
+}
+
+// Fig7 reproduces Figure 7: prediction throughput versus predictor
+// threads. Shape targets: near-linear scaling; a handful of threads
+// saturates a 40 Gbit/s link at 32 KB objects.
+func Fig7(cfg Config, threads []int) ([]ThroughputPoint, error) {
+	if len(threads) == 0 {
+		threads = defaultThreadSweep()
+	}
+	tr, err := cfg.cdnTrace()
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.Window
+	if w > tr.Len() {
+		w = tr.Len()
+	}
+	lcfg := core.Config{CacheSize: cfg.CacheSize, WindowSize: w,
+		OPT: opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5}}
+	model, ex, err := core.TrainOnWindow(tr.Slice(0, w), lcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := ex.Feats
+	n := ex.Requests
+	out := make([]float64, n)
+	var pts []ThroughputPoint
+	for _, th := range threads {
+		// Warm up once, then time enough repetitions for a stable rate.
+		model.PredictBatch(rows, out, th)
+		const minDuration = 200 * time.Millisecond
+		reps, elapsed := 0, time.Duration(0)
+		start := time.Now()
+		for elapsed < minDuration {
+			model.PredictBatch(rows, out, th)
+			reps++
+			elapsed = time.Since(start)
+		}
+		rate := float64(reps*n) / elapsed.Seconds()
+		pts = append(pts, ThroughputPoint{
+			Threads:    th,
+			ReqsPerSec: rate,
+			GbitAt32KB: rate * 32 * 1024 * 8 / 1e9,
+		})
+	}
+	return pts, nil
+}
+
+func defaultThreadSweep() []int {
+	max := runtime.NumCPU()
+	sweep := []int{1}
+	for t := 2; t < max; t *= 2 {
+		sweep = append(sweep, t)
+	}
+	if sweep[len(sweep)-1] != max {
+		sweep = append(sweep, max)
+	}
+	return sweep
+}
+
+// Fig7Table formats Fig7 results.
+func Fig7Table(pts []ThroughputPoint) *Table {
+	t := &Table{
+		Title:  "Fig 7: prediction throughput vs predictor threads",
+		Header: []string{"threads", "reqs/sec", "Gbit/s @32KB objects"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Threads),
+			fmt.Sprintf("%.0f", p.ReqsPerSec),
+			fmt.Sprintf("%.1f", p.GbitAt32KB),
+		})
+	}
+	return t
+}
+
+// ImportanceEntry is one feature's share of model splits.
+type ImportanceEntry struct {
+	Feature string
+	Percent float64
+}
+
+// Fig8 reproduces Figure 8: the fraction of tree branches testing each
+// feature. Shape targets: object size dominates (paper: 28%), free cache
+// space is significant (~10%), early gaps (1–4) are heavily used with a
+// long tail of higher gaps, and the cost feature is unused under the BHR
+// objective (it is redundant with size).
+func Fig8(cfg Config) ([]ImportanceEntry, *gbdt.Model, error) {
+	tr, err := cfg.cdnTrace()
+	if err != nil {
+		return nil, nil, err
+	}
+	w := cfg.Window
+	if w > tr.Len() {
+		w = tr.Len()
+	}
+	lcfg := core.Config{CacheSize: cfg.CacheSize, WindowSize: w,
+		OPT: opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5}}
+	model, _, err := core.TrainOnWindow(tr.Slice(0, w), lcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	imp := model.FeatureImportance()
+	names := features.Names()
+	out := make([]ImportanceEntry, len(imp))
+	for i := range imp {
+		out[i] = ImportanceEntry{Feature: names[i], Percent: 100 * imp[i]}
+	}
+	return out, model, nil
+}
+
+// Fig8Table formats Fig8 results, listing size/cost/free and the gap
+// features the paper's bar chart shows (1, 5, 10, ..., 50), plus gaps 2–4
+// which the paper calls out as heavily used.
+func Fig8Table(entries []ImportanceEntry) *Table {
+	t := &Table{
+		Title:  "Fig 8: relative importance of LFO's features (% of tree branches)",
+		Header: []string{"feature", "occurrence %"},
+	}
+	want := map[string]bool{"size": true, "cost": true, "free": true}
+	for _, g := range []int{1, 2, 3, 4, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50} {
+		want[fmt.Sprintf("gap%d", g)] = true
+	}
+	for _, e := range entries {
+		if want[e.Feature] {
+			t.Rows = append(t.Rows, []string{e.Feature, fmt.Sprintf("%.2f", e.Percent)})
+		}
+	}
+	return t
+}

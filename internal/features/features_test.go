@@ -1,0 +1,171 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"lfo/internal/trace"
+)
+
+func req(t int64, id trace.ObjectID, size int64, cost float64) trace.Request {
+	return trace.Request{Time: t, ID: id, Size: size, Cost: cost}
+}
+
+func TestFirstRequestAllGapsMissing(t *testing.T) {
+	tr := NewTracker(0)
+	dst := make([]float64, Dim)
+	tr.Features(req(10, 1, 100, 5), 999, dst)
+	if dst[FeatSize] != 100 || dst[FeatCost] != 5 || dst[FeatFree] != 999 {
+		t.Errorf("size/cost/free = %g/%g/%g, want 100/5/999", dst[FeatSize], dst[FeatCost], dst[FeatFree])
+	}
+	for i := 0; i < NumGaps; i++ {
+		if !math.IsNaN(dst[FeatGap0+i]) {
+			t.Errorf("gap%d = %g, want Missing", i+1, dst[FeatGap0+i])
+		}
+	}
+}
+
+func TestGapSequence(t *testing.T) {
+	tr := NewTracker(0)
+	// Requests to object 1 at times 0, 10, 25, 45: gaps 10, 15, 20.
+	for _, tm := range []int64{0, 10, 25} {
+		tr.Update(req(tm, 1, 50, 50))
+	}
+	dst := make([]float64, Dim)
+	tr.Features(req(45, 1, 50, 50), 0, dst)
+	// gap1 = 45-25 = 20 (time since previous request);
+	// gap2 = 25-10 = 15; gap3 = 10-0 = 10.
+	if dst[FeatGap0] != 20 {
+		t.Errorf("gap1 = %g, want 20", dst[FeatGap0])
+	}
+	if dst[FeatGap0+1] != 15 {
+		t.Errorf("gap2 = %g, want 15", dst[FeatGap0+1])
+	}
+	if dst[FeatGap0+2] != 10 {
+		t.Errorf("gap3 = %g, want 10", dst[FeatGap0+2])
+	}
+	if !math.IsNaN(dst[FeatGap0+3]) {
+		t.Errorf("gap4 = %g, want Missing", dst[FeatGap0+3])
+	}
+}
+
+// TestGapShiftInvariance: shifting all request times by a constant leaves
+// gaps 2..N unchanged and only changes gap1 if the probe time shifts too.
+func TestGapShiftInvariance(t *testing.T) {
+	build := func(shift int64) []float64 {
+		tr := NewTracker(0)
+		for _, tm := range []int64{0, 7, 19, 40} {
+			tr.Update(req(tm+shift, 9, 10, 10))
+		}
+		dst := make([]float64, Dim)
+		tr.Features(req(55+shift, 9, 10, 10), 0, dst)
+		return dst
+	}
+	a, b := build(0), build(100000)
+	for i := 0; i < NumGaps; i++ {
+		av, bv := a[FeatGap0+i], b[FeatGap0+i]
+		if math.IsNaN(av) != math.IsNaN(bv) {
+			t.Fatalf("gap%d missing-ness differs", i+1)
+		}
+		if !math.IsNaN(av) && av != bv {
+			t.Errorf("gap%d = %g vs %g after shift", i+1, av, bv)
+		}
+	}
+}
+
+func TestGapRingOverflow(t *testing.T) {
+	tr := NewTracker(0)
+	// 60 requests with gap 2 each: ring holds NumGaps-1 = 49 historical gaps.
+	for i := 0; i < 60; i++ {
+		tr.Update(req(int64(i*2), 3, 10, 10))
+	}
+	dst := make([]float64, Dim)
+	tr.Features(req(120, 3, 10, 10), 0, dst)
+	for i := 0; i < NumGaps; i++ {
+		if dst[FeatGap0+i] != 2 {
+			t.Errorf("gap%d = %g, want 2", i+1, dst[FeatGap0+i])
+		}
+	}
+}
+
+func TestCostComesFromLastRetrieval(t *testing.T) {
+	tr := NewTracker(0)
+	tr.Update(req(0, 1, 10, 7))
+	dst := make([]float64, Dim)
+	// Current request claims cost 99, but the most recent retrieval cost
+	// was 7 (§2.2: "most recent retrieval cost").
+	tr.Features(req(5, 1, 10, 99), 0, dst)
+	if dst[FeatCost] != 7 {
+		t.Errorf("cost = %g, want 7", dst[FeatCost])
+	}
+}
+
+func TestMaxObjectsEvictsOldest(t *testing.T) {
+	tr := NewTracker(2)
+	tr.Update(req(0, 1, 10, 10))
+	tr.Update(req(1, 2, 10, 10))
+	tr.Update(req(2, 3, 10, 10)) // evicts object 1
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	dst := make([]float64, Dim)
+	tr.Features(req(3, 1, 10, 10), 0, dst)
+	if !math.IsNaN(dst[FeatGap0]) {
+		t.Error("evicted object 1 still has history")
+	}
+	tr.Features(req(3, 2, 10, 10), 0, dst)
+	if math.IsNaN(dst[FeatGap0]) {
+		t.Error("object 2 history lost")
+	}
+}
+
+func TestMaxObjectsEvictionUsesRecency(t *testing.T) {
+	tr := NewTracker(2)
+	tr.Update(req(0, 1, 10, 10))
+	tr.Update(req(1, 2, 10, 10))
+	tr.Update(req(2, 1, 10, 10)) // object 1 now newer than 2
+	tr.Update(req(3, 3, 10, 10)) // should evict 2, not 1
+	dst := make([]float64, Dim)
+	tr.Features(req(4, 1, 10, 10), 0, dst)
+	if math.IsNaN(dst[FeatGap0]) {
+		t.Error("recently used object 1 was evicted")
+	}
+	tr.Features(req(4, 2, 10, 10), 0, dst)
+	if !math.IsNaN(dst[FeatGap0]) {
+		t.Error("stale object 2 survived eviction")
+	}
+}
+
+func TestSaturate32(t *testing.T) {
+	tests := []struct {
+		in   int64
+		want uint32
+	}{{-5, 0}, {0, 0}, {42, 42}, {math.MaxUint32, math.MaxUint32}, {math.MaxUint32 + 10, math.MaxUint32}}
+	for _, tc := range tests {
+		if got := saturate32(tc.in); got != tc.want {
+			t.Errorf("saturate32(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFeaturesPanicsOnShortDst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on short dst")
+		}
+	}()
+	NewTracker(0).Features(req(0, 1, 1, 1), 0, make([]float64, Dim-1))
+}
+
+func TestNames(t *testing.T) {
+	n := Names()
+	if len(n) != Dim {
+		t.Fatalf("len(Names) = %d, want %d", len(n), Dim)
+	}
+	if n[FeatSize] != "size" || n[FeatCost] != "cost" || n[FeatFree] != "free" {
+		t.Errorf("base names = %q,%q,%q", n[FeatSize], n[FeatCost], n[FeatFree])
+	}
+	if n[FeatGap0] != "gap1" || n[FeatGap0+NumGaps-1] != "gap50" {
+		t.Errorf("gap names = %q..%q, want gap1..gap50", n[FeatGap0], n[FeatGap0+NumGaps-1])
+	}
+}

@@ -1,0 +1,159 @@
+package gbdt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dataset is a row-major feature matrix with binary labels.
+type Dataset struct {
+	dim int
+	x   []float64 // n*dim, row-major
+	y   []float64 // labels in {0, 1}
+}
+
+// NewDataset returns an empty dataset with the given feature dimension.
+func NewDataset(dim int) *Dataset {
+	if dim <= 0 {
+		panic("gbdt: dataset dimension must be positive")
+	}
+	return &Dataset{dim: dim}
+}
+
+// Dim returns the feature dimension.
+func (d *Dataset) Dim() int { return d.dim }
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.y) }
+
+// Append adds a row. The label must be 0 or 1. The row is copied.
+func (d *Dataset) Append(row []float64, label float64) {
+	if len(row) != d.dim {
+		panic(fmt.Sprintf("gbdt: row dim %d != dataset dim %d", len(row), d.dim))
+	}
+	if label != 0 && label != 1 {
+		panic(fmt.Sprintf("gbdt: label must be 0 or 1, got %g", label))
+	}
+	d.x = append(d.x, row...)
+	d.y = append(d.y, label)
+}
+
+// Row returns row i (not a copy; do not modify).
+func (d *Dataset) Row(i int) []float64 {
+	return d.x[i*d.dim : (i+1)*d.dim]
+}
+
+// Label returns the label of row i.
+func (d *Dataset) Label(i int) float64 { return d.y[i] }
+
+// missingBin is the reserved histogram bin for NaN values.
+const missingBin = 0
+
+// binner maps raw feature values to histogram bins. Bin 0 is reserved for
+// missing (NaN); bins 1..len(edges[f]) cover values, where bin b holds
+// values v with edges[f][b-2] < v <= edges[f][b-1] (edges ascending, last
+// edge +Inf).
+type binner struct {
+	edges [][]float64
+}
+
+// buildBinner computes per-feature quantile bin edges from the dataset.
+func buildBinner(d *Dataset, maxBins int) *binner {
+	b := &binner{edges: make([][]float64, d.dim)}
+	vals := make([]float64, 0, d.Len())
+	for f := 0; f < d.dim; f++ {
+		vals = vals[:0]
+		for i := 0; i < d.Len(); i++ {
+			v := d.x[i*d.dim+f]
+			if !math.IsNaN(v) {
+				vals = append(vals, v)
+			}
+		}
+		b.edges[f] = quantileEdges(vals, maxBins)
+	}
+	return b
+}
+
+// quantileEdges returns ascending bin upper bounds for values, at most
+// maxBins of them, ending in +Inf.
+func quantileEdges(vals []float64, maxBins int) []float64 {
+	if len(vals) == 0 {
+		return []float64{math.Inf(1)}
+	}
+	sort.Float64s(vals)
+	// Distinct values.
+	distinct := vals[:0:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			distinct = append(distinct, v)
+		}
+	}
+	var edges []float64
+	if len(distinct) <= maxBins {
+		// One bin per distinct value; upper bound is the value itself.
+		edges = append(edges, distinct...)
+	} else {
+		// Quantile cut points over the full (non-distinct) value list so
+		// heavy values get their own bins.
+		prev := math.Inf(-1)
+		for b := 1; b <= maxBins; b++ {
+			idx := b*len(vals)/maxBins - 1
+			v := vals[idx]
+			if v != prev {
+				edges = append(edges, v)
+				prev = v
+			}
+		}
+	}
+	// Terminal catch-all: the top bin absorbs values beyond the training
+	// range. edges is non-empty because vals is non-empty.
+	edges[len(edges)-1] = math.Inf(1)
+	return edges
+}
+
+// bin maps a value to its bin for feature f.
+func (b *binner) bin(f int, v float64) uint8 {
+	if math.IsNaN(v) {
+		return missingBin
+	}
+	e := b.edges[f]
+	// Binary search: first edge >= v.
+	lo, hi := 0, len(e)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e[mid] >= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return uint8(lo + 1)
+}
+
+// numBins returns the bin count (including the missing bin) for feature f.
+func (b *binner) numBins(f int) int { return len(b.edges[f]) + 1 }
+
+// threshold returns the raw-value upper bound of bin index (1-based data
+// bin) for feature f, used as the tree's split threshold.
+func (b *binner) threshold(f int, bin int) float64 {
+	return b.edges[f][bin-1]
+}
+
+// binned is a column-major binned copy of a dataset.
+type binned struct {
+	n, dim int
+	cols   [][]uint8 // cols[f][i]
+}
+
+func binDataset(d *Dataset, b *binner) *binned {
+	bd := &binned{n: d.Len(), dim: d.dim, cols: make([][]uint8, d.dim)}
+	for f := 0; f < d.dim; f++ {
+		col := make([]uint8, d.Len())
+		for i := 0; i < d.Len(); i++ {
+			col[i] = b.bin(f, d.x[i*d.dim+f])
+		}
+		bd.cols[f] = col
+	}
+	return bd
+}

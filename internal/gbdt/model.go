@@ -1,0 +1,129 @@
+package gbdt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// Model is a trained boosted-tree binary classifier.
+type Model struct {
+	// Dim is the expected feature dimension.
+	Dim int
+	// BaseScore is the initial raw margin (log-odds of the training
+	// positive rate).
+	BaseScore float64
+	// Trees are the boosted stages in training order.
+	Trees []Tree
+}
+
+// RawPredict returns the unsquashed margin for one feature row.
+func (m *Model) RawPredict(row []float64) float64 {
+	if len(row) != m.Dim {
+		panic(fmt.Sprintf("gbdt: row dim %d != model dim %d", len(row), m.Dim))
+	}
+	s := m.BaseScore
+	for i := range m.Trees {
+		s += m.Trees[i].predict(row)
+	}
+	return s
+}
+
+// Predict returns the probability of the positive class for one row.
+func (m *Model) Predict(row []float64) float64 {
+	return sigmoid(m.RawPredict(row))
+}
+
+// PredictBatch fills out[i] with the positive-class probability of rows[i],
+// using up to workers goroutines (workers <= 1 runs inline). rows is a
+// flat row-major matrix of n rows. out must have length n.
+func (m *Model) PredictBatch(rows []float64, out []float64, workers int) {
+	n := len(out)
+	if len(rows) != n*m.Dim {
+		panic(fmt.Sprintf("gbdt: rows length %d != %d rows × dim %d", len(rows), n, m.Dim))
+	}
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			out[i] = m.Predict(rows[i*m.Dim : (i+1)*m.Dim])
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = m.Predict(rows[i*m.Dim : (i+1)*m.Dim])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// NumTrees returns the number of boosted stages.
+func (m *Model) NumTrees() int { return len(m.Trees) }
+
+// NumLeaves returns the total leaf count across all trees.
+func (m *Model) NumLeaves() int {
+	n := 0
+	for i := range m.Trees {
+		n += m.Trees[i].numLeaves()
+	}
+	return n
+}
+
+// FeatureImportance returns, per feature, the fraction of all split nodes
+// that test the feature (Fig 8 of the paper: "occurrence in tree
+// branches"). The fractions sum to 1 unless the model has no splits.
+func (m *Model) FeatureImportance() []float64 {
+	counts := make([]float64, m.Dim)
+	total := 0.0
+	for i := range m.Trees {
+		m.Trees[i].visitSplits(func(f int) {
+			counts[f]++
+			total++
+		})
+	}
+	if total > 0 {
+		for f := range counts {
+			counts[f] /= total
+		}
+	}
+	return counts
+}
+
+// Save serializes the model with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(m)
+}
+
+// Load deserializes a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("gbdt: load model: %w", err)
+	}
+	if m.Dim <= 0 {
+		return nil, fmt.Errorf("gbdt: loaded model has invalid dim %d", m.Dim)
+	}
+	return &m, nil
+}
+
+func sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}

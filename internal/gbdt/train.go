@@ -1,0 +1,434 @@
+package gbdt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Train fits a boosted-tree classifier to the dataset.
+func Train(d *Dataset, p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("gbdt: empty dataset")
+	}
+
+	t := &trainer{
+		p:   p,
+		d:   d,
+		rng: rand.New(rand.NewSource(p.Seed)),
+	}
+	t.b = buildBinner(d, p.MaxBins)
+	t.bd = binDataset(d, t.b)
+
+	n := d.Len()
+	t.grad = make([]float64, n)
+	t.hess = make([]float64, n)
+	t.scores = make([]float64, n)
+
+	// Base score: log-odds of the positive rate, clamped away from
+	// degenerate infinities.
+	pos := 0.0
+	for i := 0; i < n; i++ {
+		pos += d.Label(i)
+	}
+	rate := clamp(pos/float64(n), 1e-6, 1-1e-6)
+	base := math.Log(rate / (1 - rate))
+	for i := range t.scores {
+		t.scores[i] = base
+	}
+
+	m := &Model{Dim: d.Dim(), BaseScore: base}
+	rows := t.allRows()
+	for iter := 0; iter < p.NumIterations; iter++ {
+		t.computeGradients()
+		switch {
+		case p.GOSSTopRate > 0:
+			// GOSS re-samples (and re-weights gradients) every tree;
+			// gradients are recomputed fresh above, so the in-place
+			// amplification cannot compound across iterations.
+			rows = t.sampleGOSS()
+		case p.BaggingFreq > 0 && p.BaggingFraction < 1:
+			if iter%p.BaggingFreq == 0 {
+				rows = t.sampleRows()
+			}
+		}
+		feats := t.sampleFeatures()
+		tree := t.buildTree(rows, feats)
+		if tree == nil {
+			// No split improved the objective on this sample; another
+			// bagging/feature sample may still find one.
+			continue
+		}
+		m.Trees = append(m.Trees, *tree)
+		// Update raw scores with the new tree.
+		for i := 0; i < n; i++ {
+			t.scores[i] += tree.predict(d.Row(i))
+		}
+	}
+	return m, nil
+}
+
+type trainer struct {
+	p   Params
+	d   *Dataset
+	b   *binner
+	bd  *binned
+	rng *rand.Rand
+
+	grad, hess []float64
+	scores     []float64
+}
+
+// computeGradients evaluates the logistic loss gradient/hessian at the
+// current scores.
+func (t *trainer) computeGradients() {
+	for i := range t.grad {
+		p := sigmoid(t.scores[i])
+		t.grad[i] = p - t.d.Label(i)
+		t.hess[i] = p * (1 - p)
+	}
+}
+
+func (t *trainer) allRows() []int32 {
+	rows := make([]int32, t.d.Len())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	return rows
+}
+
+// sampleRows draws BaggingFraction of the rows without replacement.
+func (t *trainer) sampleRows() []int32 {
+	n := t.d.Len()
+	k := int(float64(n) * t.p.BaggingFraction)
+	if k < 1 {
+		k = 1
+	}
+	perm := t.rng.Perm(n)
+	rows := make([]int32, k)
+	for i := 0; i < k; i++ {
+		rows[i] = int32(perm[i])
+	}
+	return rows
+}
+
+// sampleGOSS implements gradient-based one-side sampling (Ke et al.,
+// NeurIPS 2017): keep the top-a fraction of rows by |gradient|, sample a
+// b fraction of the remainder uniformly, and amplify the sampled rows'
+// gradient and hessian by (1-a)/b so histogram statistics stay unbiased.
+func (t *trainer) sampleGOSS() []int32 {
+	n := t.d.Len()
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ga, gb := math.Abs(t.grad[idx[a]]), math.Abs(t.grad[idx[b]])
+		if ga != gb {
+			return ga > gb
+		}
+		return idx[a] < idx[b] // deterministic tie-break
+	})
+	topN := int(t.p.GOSSTopRate * float64(n))
+	if topN < 1 {
+		topN = 1
+	}
+	if topN > n {
+		topN = n
+	}
+	rows := append([]int32(nil), idx[:topN]...)
+	rest := idx[topN:]
+	sampleN := int(t.p.GOSSOtherRate * float64(n))
+	if sampleN > len(rest) {
+		sampleN = len(rest)
+	}
+	if sampleN > 0 {
+		amplify := (1 - t.p.GOSSTopRate) / t.p.GOSSOtherRate
+		perm := t.rng.Perm(len(rest))
+		for i := 0; i < sampleN; i++ {
+			r := rest[perm[i]]
+			t.grad[r] *= amplify
+			t.hess[r] *= amplify
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// sampleFeatures draws FeatureFraction of the features for one tree.
+func (t *trainer) sampleFeatures() []int {
+	dim := t.d.Dim()
+	if t.p.FeatureFraction >= 1 {
+		feats := make([]int, dim)
+		for i := range feats {
+			feats[i] = i
+		}
+		return feats
+	}
+	k := int(float64(dim) * t.p.FeatureFraction)
+	if k < 1 {
+		k = 1
+	}
+	perm := t.rng.Perm(dim)
+	feats := perm[:k]
+	// Sort for deterministic iteration order.
+	for i := 1; i < len(feats); i++ {
+		for j := i; j > 0 && feats[j] < feats[j-1]; j-- {
+			feats[j], feats[j-1] = feats[j-1], feats[j]
+		}
+	}
+	return feats
+}
+
+// histBin accumulates gradient statistics for one (feature, bin) cell.
+type histBin struct {
+	grad, hess float64
+	count      int32
+}
+
+// histogram is the per-leaf gradient histogram over the selected features,
+// stored flat with per-feature offsets.
+type histogram struct {
+	bins    []histBin
+	offsets []int // parallel to the selected feature list
+}
+
+func (t *trainer) newHistogram(feats []int) *histogram {
+	offsets := make([]int, len(feats)+1)
+	for i, f := range feats {
+		offsets[i+1] = offsets[i] + t.b.numBins(f)
+	}
+	return &histogram{bins: make([]histBin, offsets[len(feats)]), offsets: offsets}
+}
+
+// build fills the histogram from the rows in idx.
+func (t *trainer) buildHist(h *histogram, feats []int, idx []int32) {
+	for fi, f := range feats {
+		col := t.bd.cols[f]
+		base := h.offsets[fi]
+		for _, r := range idx {
+			b := &h.bins[base+int(col[r])]
+			b.grad += t.grad[r]
+			b.hess += t.hess[r]
+			b.count++
+		}
+	}
+}
+
+// subtract sets h = parent - sibling, reusing parent's storage.
+func subtractHist(parent, sibling *histogram) *histogram {
+	for i := range parent.bins {
+		parent.bins[i].grad -= sibling.bins[i].grad
+		parent.bins[i].hess -= sibling.bins[i].hess
+		parent.bins[i].count -= sibling.bins[i].count
+	}
+	return parent
+}
+
+// splitInfo describes the best split found for a leaf.
+type splitInfo struct {
+	valid       bool
+	gain        float64
+	featPos     int // position in the selected feature list
+	feature     int
+	bin         int // non-missing bins <= bin go left
+	missingLeft bool
+}
+
+// leafCand is an open leaf during leaf-wise growth.
+type leafCand struct {
+	rows    []int32
+	sumGrad float64
+	sumHess float64
+	depth   int
+	nodeIdx int32
+	hist    *histogram
+	best    splitInfo
+}
+
+// leafObjective is the regularized loss contribution of a leaf.
+func (t *trainer) leafObjective(g, h float64) float64 {
+	return g * g / (h + t.p.Lambda)
+}
+
+// leafValue is the shrunk optimal leaf weight.
+func (t *trainer) leafValue(g, h float64) float64 {
+	return -t.p.LearningRate * g / (h + t.p.Lambda)
+}
+
+// findBestSplit scans the histogram for the leaf's best split.
+func (t *trainer) findBestSplit(c *leafCand, feats []int) splitInfo {
+	best := splitInfo{}
+	totalG, totalH := c.sumGrad, c.sumHess
+	totalC := int32(len(c.rows))
+	parentObj := t.leafObjective(totalG, totalH)
+	minData := int32(t.p.MinDataInLeaf)
+
+	for fi, f := range feats {
+		base := c.hist.offsets[fi]
+		nb := t.b.numBins(f)
+		miss := c.hist.bins[base+missingBin]
+		var accG, accH float64
+		var accC int32
+		// Split after bin b (bins 1..b left); last bin excluded (empty
+		// right side).
+		for b := 1; b < nb-1; b++ {
+			cell := c.hist.bins[base+b]
+			accG += cell.grad
+			accH += cell.hess
+			accC += cell.count
+			// Case 1: missing goes right.
+			t.evalSplit(&best, parentObj, fi, f, b, false,
+				accG, accH, accC,
+				totalG-accG, totalH-accH, totalC-accC, minData)
+			// Case 2: missing goes left.
+			if miss.count > 0 {
+				t.evalSplit(&best, parentObj, fi, f, b, true,
+					accG+miss.grad, accH+miss.hess, accC+miss.count,
+					totalG-accG-miss.grad, totalH-accH-miss.hess, totalC-accC-miss.count, minData)
+			}
+		}
+	}
+	return best
+}
+
+func (t *trainer) evalSplit(best *splitInfo, parentObj float64, fi, f, b int, missingLeft bool,
+	lg, lh float64, lc int32, rg, rh float64, rc int32, minData int32) {
+	if lc < minData || rc < minData {
+		return
+	}
+	if lh < t.p.MinSumHessianInLeaf || rh < t.p.MinSumHessianInLeaf {
+		return
+	}
+	gain := t.leafObjective(lg, lh) + t.leafObjective(rg, rh) - parentObj
+	if gain <= t.p.MinGainToSplit {
+		return
+	}
+	if !best.valid || gain > best.gain {
+		*best = splitInfo{valid: true, gain: gain, featPos: fi, feature: f, bin: b, missingLeft: missingLeft}
+	}
+}
+
+// buildTree grows one tree leaf-wise. Returns nil when no split improves
+// the objective.
+func (t *trainer) buildTree(rows []int32, feats []int) *Tree {
+	var sumG, sumH float64
+	for _, r := range rows {
+		sumG += t.grad[r]
+		sumH += t.hess[r]
+	}
+	tree := &Tree{}
+	rootRows := append([]int32(nil), rows...)
+	tree.Nodes = append(tree.Nodes, node{Feature: -1, Value: t.leafValue(sumG, sumH)})
+
+	root := &leafCand{rows: rootRows, sumGrad: sumG, sumHess: sumH, nodeIdx: 0}
+	root.hist = t.newHistogram(feats)
+	t.buildHist(root.hist, feats, root.rows)
+	root.best = t.findBestSplit(root, feats)
+
+	open := []*leafCand{root}
+	numLeaves := 1
+	split := false
+	for numLeaves < t.p.NumLeaves {
+		// Pick the open leaf with the highest gain.
+		bi := -1
+		for i, c := range open {
+			if c.best.valid && (bi < 0 || c.best.gain > open[bi].best.gain) {
+				bi = i
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		c := open[bi]
+		open[bi] = open[len(open)-1]
+		open = open[:len(open)-1]
+
+		left, right := t.applySplit(tree, c, feats)
+		split = true
+		numLeaves++
+
+		if t.p.MaxDepth > 0 && left.depth >= t.p.MaxDepth {
+			left.best = splitInfo{}
+			right.best = splitInfo{}
+		} else {
+			// Histogram subtraction: materialize the smaller child,
+			// derive the sibling from the parent.
+			if len(left.rows) <= len(right.rows) {
+				left.hist = t.newHistogram(feats)
+				t.buildHist(left.hist, feats, left.rows)
+				right.hist = subtractHist(c.hist, left.hist)
+			} else {
+				right.hist = t.newHistogram(feats)
+				t.buildHist(right.hist, feats, right.rows)
+				left.hist = subtractHist(c.hist, right.hist)
+			}
+			left.best = t.findBestSplit(left, feats)
+			right.best = t.findBestSplit(right, feats)
+		}
+		open = append(open, left, right)
+	}
+	if !split {
+		return nil
+	}
+	return tree
+}
+
+// applySplit partitions the leaf's rows and rewrites its tree node as an
+// internal split with two fresh leaves.
+func (t *trainer) applySplit(tree *Tree, c *leafCand, feats []int) (left, right *leafCand) {
+	s := c.best
+	col := t.bd.cols[s.feature]
+	leftRows := make([]int32, 0, len(c.rows))
+	rightRows := make([]int32, 0, len(c.rows))
+	var lg, lh float64
+	for _, r := range c.rows {
+		b := col[r]
+		goLeft := false
+		if b == missingBin {
+			goLeft = s.missingLeft
+		} else {
+			goLeft = int(b) <= s.bin
+		}
+		if goLeft {
+			leftRows = append(leftRows, r)
+			lg += t.grad[r]
+			lh += t.hess[r]
+		} else {
+			rightRows = append(rightRows, r)
+		}
+	}
+
+	li := int32(len(tree.Nodes))
+	tree.Nodes = append(tree.Nodes, node{Feature: -1, Value: t.leafValue(lg, lh)})
+	ri := int32(len(tree.Nodes))
+	tree.Nodes = append(tree.Nodes, node{
+		Feature: -1,
+		Value:   t.leafValue(c.sumGrad-lg, c.sumHess-lh),
+	})
+
+	n := &tree.Nodes[c.nodeIdx]
+	n.Feature = int32(s.feature)
+	n.Threshold = t.b.threshold(s.feature, s.bin)
+	n.MissingLeft = s.missingLeft
+	n.Left, n.Right = li, ri
+	n.Value = 0
+
+	left = &leafCand{rows: leftRows, sumGrad: lg, sumHess: lh, depth: c.depth + 1, nodeIdx: li}
+	right = &leafCand{rows: rightRows, sumGrad: c.sumGrad - lg, sumHess: c.sumHess - lh, depth: c.depth + 1, nodeIdx: ri}
+	return left, right
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

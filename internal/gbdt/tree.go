@@ -1,0 +1,60 @@
+package gbdt
+
+import "math"
+
+// node is one tree node. Leaves have Feature == -1.
+type node struct {
+	Feature     int32   // split feature, -1 for leaf
+	Threshold   float64 // go left iff value <= Threshold (non-missing)
+	MissingLeft bool    // learned default direction for NaN values
+	Left, Right int32   // child indices
+	Value       float64 // leaf value (already shrunk by learning rate)
+}
+
+// Tree is a single regression tree over raw feature values.
+type Tree struct {
+	Nodes []node
+}
+
+// predict returns the tree's raw contribution for a feature row.
+func (t *Tree) predict(row []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return n.Value
+		}
+		v := row[n.Feature]
+		if math.IsNaN(v) {
+			if n.MissingLeft {
+				i = n.Left
+			} else {
+				i = n.Right
+			}
+		} else if v <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// numLeaves counts leaf nodes.
+func (t *Tree) numLeaves() int {
+	n := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].Feature < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// visitSplits calls fn for every internal node's split feature.
+func (t *Tree) visitSplits(fn func(feature int)) {
+	for i := range t.Nodes {
+		if t.Nodes[i].Feature >= 0 {
+			fn(int(t.Nodes[i].Feature))
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"math/rand"
+
+	"lfo/internal/trace"
+)
+
+// Adversarial workload transforms, modeling the "unexpected (or even
+// adversarial) traffic patterns" §1 of the paper says CDN servers face.
+// They contaminate a base trace with cache-hostile request patterns.
+
+// ScanConfig injects sequential scans: bursts of requests to fresh,
+// never-reused objects (a crawler sweep or an attack). Scans pollute
+// recency-based caches, evicting the hot set for objects that yield no
+// future hits.
+type ScanConfig struct {
+	// Every inserts a scan burst after every `Every` base requests.
+	Every int
+	// Burst is the number of scan requests per burst.
+	Burst int
+	// ObjectSize is the size of scan objects in bytes.
+	ObjectSize int64
+}
+
+// WithScans returns a new trace interleaving scan bursts into the base
+// trace. Scan objects use a dedicated ID namespace and never repeat.
+// Timestamps are rebased to remain non-decreasing.
+func WithScans(base *trace.Trace, cfg ScanConfig) *trace.Trace {
+	if cfg.Every <= 0 || cfg.Burst <= 0 || cfg.ObjectSize <= 0 {
+		return base
+	}
+	out := &trace.Trace{Requests: make([]trace.Request, 0, base.Len()+base.Len()/cfg.Every*cfg.Burst)}
+	nextScanID := uint64(1) << 60 // disjoint from generator IDs (class<<56, class<16)
+	now := int64(0)
+	emit := func(r trace.Request) {
+		if r.Time < now {
+			r.Time = now
+		}
+		now = r.Time
+		out.Requests = append(out.Requests, r)
+	}
+	for i, r := range base.Requests {
+		emit(r)
+		if (i+1)%cfg.Every == 0 {
+			for b := 0; b < cfg.Burst; b++ {
+				now++
+				emit(trace.Request{
+					Time: now,
+					ID:   trace.ObjectID(nextScanID),
+					Size: cfg.ObjectSize,
+					Cost: float64(cfg.ObjectSize),
+				})
+				nextScanID++
+			}
+		}
+	}
+	return out
+}
+
+// LoopConfig injects cyclic sweeps over a working set slightly larger
+// than the cache — the classic LRU-pathological pattern (every request
+// misses under LRU although the loop is perfectly predictable).
+type LoopConfig struct {
+	// Objects is the loop's working-set size in objects.
+	Objects int
+	// ObjectSize is each loop object's size.
+	ObjectSize int64
+	// Cycles is how many times the loop repeats.
+	Cycles int
+}
+
+// AppendLoop appends a cyclic scan to the base trace.
+func AppendLoop(base *trace.Trace, cfg LoopConfig, rng *rand.Rand) *trace.Trace {
+	out := &trace.Trace{Requests: append([]trace.Request(nil), base.Requests...)}
+	now := int64(0)
+	if n := len(out.Requests); n > 0 {
+		now = out.Requests[n-1].Time
+	}
+	const loopBase = uint64(1) << 59
+	for c := 0; c < cfg.Cycles; c++ {
+		for o := 0; o < cfg.Objects; o++ {
+			now++
+			out.Requests = append(out.Requests, trace.Request{
+				Time: now,
+				ID:   trace.ObjectID(loopBase + uint64(o)),
+				Size: cfg.ObjectSize,
+				Cost: float64(cfg.ObjectSize),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package gen
+
+// Presets approximating the content mixes discussed in the paper's
+// introduction: web pages, social photos with a long tail, video segments,
+// and large software downloads with flash-crowd spikes. They stand in for
+// the proprietary production trace (see DESIGN.md, substitutions).
+
+// CDNMix returns the default mixed-content CDN workload used throughout
+// the experiments: four content classes with strongly heterogeneous sizes
+// plus one mid-trace flash crowd on the software-download class and one
+// cold load-balancer shift on the web class.
+func CDNMix(requests int, seed int64) Config {
+	return Config{
+		Requests: requests,
+		Seed:     seed,
+		Classes: []ContentClass{
+			{
+				Name:      "web",
+				Objects:   1 << 17,
+				ZipfAlpha: 0.9,
+				// Median ~12 KB bodies, spread over ~1–200 KB.
+				Sizes:  LogNormalSize{Mu: 9.4, Sigma: 1.0, Min: 128, Max: 1 << 20},
+				Weight: 0.45,
+			},
+			{
+				Name:      "photo",
+				Objects:   1 << 18,
+				ZipfAlpha: 0.7, // long tail of rarely requested photos
+				Sizes:     LogNormalSize{Mu: 10.6, Sigma: 0.7, Min: 1 << 10, Max: 1 << 21},
+				Weight:    0.30,
+			},
+			{
+				Name:      "video",
+				Objects:   1 << 14,
+				ZipfAlpha: 1.05,
+				// 2–8 MB segments.
+				Sizes:  UniformSize{Min: 2 << 20, Max: 8 << 20},
+				Weight: 0.20,
+			},
+			{
+				Name:      "download",
+				Objects:   1 << 10,
+				ZipfAlpha: 1.2,
+				// Heavy Pareto tail up to 256 MB installers.
+				Sizes:  ParetoSize{Alpha: 1.2, Min: 4 << 20, Max: 256 << 20},
+				Weight: 0.05,
+			},
+		},
+		Drift: []DriftEvent{
+			// "iOS update day": download traffic spikes to dominate.
+			{At: 0.5, Class: 3, NewWeight: 0.6},
+			// Spike subsides.
+			{At: 0.65, Class: 3, NewWeight: 0.05},
+			// Load balancer shifts a new user population onto this
+			// server: the hot web set changes entirely.
+			{At: 0.8, Class: 0, NewWeight: 0.45, Reshuffle: true},
+		},
+	}
+}
+
+// WebMix returns a single-class web workload with small objects and mild
+// skew; useful for quick tests and the Fig 1 RL-baseline comparison.
+func WebMix(requests int, seed int64) Config {
+	return Config{
+		Requests: requests,
+		Seed:     seed,
+		Classes: []ContentClass{{
+			Name:      "web",
+			Objects:   1 << 15,
+			ZipfAlpha: 0.85,
+			Sizes:     LogNormalSize{Mu: 9.0, Sigma: 1.2, Min: 64, Max: 1 << 22},
+			Weight:    1,
+		}},
+	}
+}
+
+// UnitMix returns a unit-size workload (all objects 1 byte). With unit
+// sizes OPT reduces to Belady's algorithm, which anchors the OPT
+// implementation's correctness tests.
+func UnitMix(requests int, seed int64, objects uint64, alpha float64) Config {
+	return Config{
+		Requests: requests,
+		Seed:     seed,
+		Classes: []ContentClass{{
+			Name:      "unit",
+			Objects:   objects,
+			ZipfAlpha: alpha,
+			Sizes:     FixedSize{Size: 1},
+			Weight:    1,
+		}},
+	}
+}

@@ -1,0 +1,80 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SizeModel draws object sizes in bytes.
+type SizeModel interface {
+	// Sample returns a size in bytes, always >= 1.
+	Sample(rng *rand.Rand) int64
+}
+
+// LogNormalSize draws sizes from a log-normal distribution, the canonical
+// fit for web-object bodies, clamped to [Min, Max].
+type LogNormalSize struct {
+	// Mu and Sigma parameterize the underlying normal of ln(size).
+	Mu, Sigma float64
+	// Min and Max clamp the sampled size. Max <= 0 means no upper clamp.
+	Min, Max int64
+}
+
+// Sample implements SizeModel.
+func (m LogNormalSize) Sample(rng *rand.Rand) int64 {
+	s := int64(math.Exp(m.Mu + m.Sigma*rng.NormFloat64()))
+	return clampSize(s, m.Min, m.Max)
+}
+
+// ParetoSize draws sizes from a bounded Pareto distribution, modeling the
+// heavy tail of large software/video objects.
+type ParetoSize struct {
+	// Alpha is the tail index; smaller is heavier. Typical: 1.0–2.5.
+	Alpha float64
+	// Min and Max bound the support; Max must exceed Min.
+	Min, Max int64
+}
+
+// Sample implements SizeModel.
+func (m ParetoSize) Sample(rng *rand.Rand) int64 {
+	// Inverse-CDF sampling of a bounded Pareto.
+	lo, hi, a := float64(m.Min), float64(m.Max), m.Alpha
+	u := rng.Float64()
+	x := math.Pow(math.Pow(lo, a)/(u*math.Pow(lo/hi, a)-u+1), 1/a)
+	return clampSize(int64(x), m.Min, m.Max)
+}
+
+// FixedSize always returns Size; useful for unit-size experiments where
+// OPT reduces to Belady.
+type FixedSize struct {
+	Size int64
+}
+
+// Sample implements SizeModel.
+func (m FixedSize) Sample(rng *rand.Rand) int64 { return m.Size }
+
+// UniformSize draws sizes uniformly in [Min, Max].
+type UniformSize struct {
+	Min, Max int64
+}
+
+// Sample implements SizeModel.
+func (m UniformSize) Sample(rng *rand.Rand) int64 {
+	if m.Max <= m.Min {
+		return clampSize(m.Min, 1, 0)
+	}
+	return m.Min + rng.Int63n(m.Max-m.Min+1)
+}
+
+func clampSize(s, min, max int64) int64 {
+	if min < 1 {
+		min = 1
+	}
+	if s < min {
+		s = min
+	}
+	if max > 0 && s > max {
+		s = max
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+// Package gen generates synthetic CDN request traces. It substitutes for
+// the proprietary 500M-request production trace used in the paper's
+// evaluation: the generator reproduces the trace properties the paper's
+// experiments depend on — Zipf-skewed popularity, highly variable object
+// sizes across content classes, a long tail of one-hit wonders, and
+// temporal drift (flash crowds, load-balancer traffic shifts).
+//
+// All randomness is seeded, so traces are reproducible.
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf samples ranks 1..N with P(rank=k) proportional to 1/k^alpha.
+//
+// The math/rand Zipf implementation requires alpha > 1; CDN popularity
+// commonly has alpha in [0.6, 1.1], so we implement the rejection-inversion
+// sampler of Hörmann & Derflinger (1996), which supports any alpha > 0.
+type Zipf struct {
+	rng              *rand.Rand
+	n                uint64
+	alpha            float64
+	hIntegralX1      float64
+	hIntegralN       float64
+	s                float64
+	uniformToSurface float64 // cached hIntegralN - hIntegralX1
+}
+
+// NewZipf returns a Zipf sampler over ranks [1, n] with skew alpha > 0.
+// The sampler panics if n == 0 or alpha <= 0.
+func NewZipf(rng *rand.Rand, alpha float64, n uint64) *Zipf {
+	if n == 0 {
+		panic("gen: NewZipf requires n > 0")
+	}
+	if alpha <= 0 {
+		panic("gen: NewZipf requires alpha > 0")
+	}
+	z := &Zipf{rng: rng, n: n, alpha: alpha}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1.0
+	z.hIntegralN = z.hIntegral(float64(n) + 0.5)
+	z.s = 2.0 - z.hIntegralInverse(z.hIntegral(2.5)-z.h(2.0))
+	z.uniformToSurface = z.hIntegralN - z.hIntegralX1
+	return z
+}
+
+// Next returns a rank in [1, n].
+func (z *Zipf) Next() uint64 {
+	for {
+		u := z.hIntegralX1 + z.rng.Float64()*z.uniformToSurface
+		x := z.hIntegralInverse(u)
+		k := math.Round(x)
+		if k < 1 {
+			k = 1
+		} else if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if k-x <= z.s || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint64(k)
+		}
+	}
+}
+
+// h is the unnormalized density 1/x^alpha.
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.alpha * math.Log(x))
+}
+
+// hIntegral is the antiderivative of h.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1-z.alpha)*logX) * logX
+}
+
+// hIntegralInverse inverts hIntegral.
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * (1 - z.alpha)
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a stable series near 0.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-x*0.25))
+}
+
+// helper2 computes expm1(x)/x with a stable series near 0.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+x*0.25))
+}

@@ -1,0 +1,67 @@
+package mcf
+
+// heap is a binary min-heap of (dist, node) pairs specialized for the
+// Dijkstra inner loop; it avoids the interface indirection of
+// container/heap, which dominates profile time on large OPT graphs.
+type heap struct {
+	dist []int64
+	node []int32
+}
+
+func newHeap(capacity int) *heap {
+	return &heap{
+		dist: make([]int64, 0, capacity),
+		node: make([]int32, 0, capacity),
+	}
+}
+
+func (h *heap) len() int { return len(h.dist) }
+
+func (h *heap) reset() {
+	h.dist = h.dist[:0]
+	h.node = h.node[:0]
+}
+
+func (h *heap) push(d int64, n int32) {
+	h.dist = append(h.dist, d)
+	h.node = append(h.node, n)
+	i := len(h.dist) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.dist[p] <= h.dist[i] {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *heap) pop() (int64, int32) {
+	d, n := h.dist[0], h.node[0]
+	last := len(h.dist) - 1
+	h.dist[0], h.node[0] = h.dist[last], h.node[last]
+	h.dist = h.dist[:last]
+	h.node = h.node[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.dist[l] < h.dist[small] {
+			small = l
+		}
+		if r < last && h.dist[r] < h.dist[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.swap(i, small)
+		i = small
+	}
+	return d, n
+}
+
+func (h *heap) swap(i, j int) {
+	h.dist[i], h.dist[j] = h.dist[j], h.dist[i]
+	h.node[i], h.node[j] = h.node[j], h.node[i]
+}

@@ -1,0 +1,230 @@
+// Package mcf implements a minimum-cost flow solver using the successive
+// shortest path algorithm with Johnson node potentials (Dijkstra on reduced
+// costs). It replaces the LEMON C++ library the paper's prototype uses for
+// computing OPT's decisions (§2.1).
+//
+// The solver supports arbitrary directed graphs with integral capacities and
+// integral edge costs, and multiple sources/sinks via per-node supplies.
+// Edge costs must be non-negative: the OPT (FOO) graphs built by package opt
+// only ever need non-negative costs, and this restriction lets every
+// shortest-path search use Dijkstra.
+package mcf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Graph is a directed graph with capacities, costs, and node supplies.
+// The zero value is not usable; create graphs with NewGraph.
+type Graph struct {
+	n      int
+	supply []int64
+
+	// Edge arrays; forward edge 2k and its residual twin 2k+1.
+	to   []int32
+	cap  []int64
+	cost []int64
+	// Adjacency as head/next chains.
+	head []int32
+	next []int32
+
+	solved bool
+}
+
+// NewGraph returns an empty graph with n nodes, numbered 0..n-1.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic("mcf: negative node count")
+	}
+	head := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	return &Graph{n: n, supply: make([]int64, n), head: head}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of forward edges added via AddEdge.
+func (g *Graph) NumEdges() int { return len(g.to) / 2 }
+
+// AddEdge adds a directed edge from -> to with the given capacity and
+// non-negative per-unit cost, returning an edge handle for Flow.
+func (g *Graph) AddEdge(from, to int, capacity, cost int64) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("mcf: AddEdge(%d,%d) out of range [0,%d)", from, to, g.n))
+	}
+	if capacity < 0 {
+		panic("mcf: negative capacity")
+	}
+	if cost < 0 {
+		panic("mcf: negative cost")
+	}
+	id := len(g.to) / 2
+	// Forward edge.
+	g.to = append(g.to, int32(to))
+	g.cap = append(g.cap, capacity)
+	g.cost = append(g.cost, cost)
+	g.next = append(g.next, g.head[from])
+	g.head[from] = int32(len(g.to) - 1)
+	// Residual twin.
+	g.to = append(g.to, int32(from))
+	g.cap = append(g.cap, 0)
+	g.cost = append(g.cost, -cost)
+	g.next = append(g.next, g.head[to])
+	g.head[to] = int32(len(g.to) - 1)
+	return id
+}
+
+// SetSupply sets the flow excess of a node: positive for sources, negative
+// for sinks. Supplies must sum to zero across the graph for Solve to
+// succeed.
+func (g *Graph) SetSupply(node int, supply int64) {
+	g.supply[node] = supply
+}
+
+// AddSupply adds to the flow excess of a node.
+func (g *Graph) AddSupply(node int, delta int64) {
+	g.supply[node] += delta
+}
+
+// Flow returns the flow routed on a forward edge after Solve.
+func (g *Graph) Flow(edge int) int64 {
+	return g.cap[2*edge+1] // residual capacity of the twin = routed flow
+}
+
+// ErrInfeasible is returned when supplies cannot be routed to demands
+// within the edge capacities.
+var ErrInfeasible = errors.New("mcf: infeasible flow problem")
+
+// ErrUnbalanced is returned when node supplies do not sum to zero.
+var ErrUnbalanced = errors.New("mcf: supplies do not sum to zero")
+
+// Solve routes all supply to demand at minimum total cost and returns that
+// cost. Solve may be called once per graph.
+func (g *Graph) Solve() (int64, error) {
+	if g.solved {
+		return 0, errors.New("mcf: Solve called twice")
+	}
+	g.solved = true
+
+	var balance int64
+	for _, s := range g.supply {
+		balance += s
+	}
+	if balance != 0 {
+		return 0, fmt.Errorf("%w: total %d", ErrUnbalanced, balance)
+	}
+
+	// Super-source / super-sink reformulation: append two nodes and
+	// connect them to every source/sink.
+	s, t := g.n, g.n+1
+	g.head = append(g.head, -1, -1)
+	var totalSupply int64
+	for v := 0; v < g.n; v++ {
+		if g.supply[v] > 0 {
+			g.addInternal(s, v, g.supply[v], 0)
+			totalSupply += g.supply[v]
+		} else if g.supply[v] < 0 {
+			g.addInternal(v, t, -g.supply[v], 0)
+		}
+	}
+	nn := g.n + 2
+
+	pot := make([]int64, nn)
+	dist := make([]int64, nn)
+	visited := make([]bool, nn)
+	prevEdge := make([]int32, nn)
+
+	var totalCost int64
+	routed := int64(0)
+	h := newHeap(nn)
+	for routed < totalSupply {
+		// Dijkstra from s on reduced costs.
+		for i := range dist {
+			dist[i] = math.MaxInt64
+			visited[i] = false
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		h.reset()
+		h.push(0, int32(s))
+		for h.len() > 0 {
+			d, u := h.pop()
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			if int(u) == t {
+				break
+			}
+			for e := g.head[u]; e != -1; e = g.next[e] {
+				if g.cap[e] <= 0 {
+					continue
+				}
+				v := g.to[e]
+				if visited[v] {
+					continue
+				}
+				nd := d + g.cost[e] + pot[u] - pot[v]
+				if nd < dist[v] {
+					dist[v] = nd
+					prevEdge[v] = e
+					h.push(nd, v)
+				}
+			}
+		}
+		if !visited[t] {
+			return 0, fmt.Errorf("%w: %d of %d units unroutable", ErrInfeasible, totalSupply-routed, totalSupply)
+		}
+		// Update potentials. Dijkstra terminated as soon as t was
+		// finalized, so tentative distances beyond dist[t] are not
+		// final; clamping to dist[t] preserves the reduced-cost
+		// invariant (standard early-termination fix).
+		dt := dist[t]
+		for v := 0; v < nn; v++ {
+			if dist[v] < dt {
+				pot[v] += dist[v]
+			} else {
+				pot[v] += dt
+			}
+		}
+		// Find bottleneck along s..t path and augment.
+		bottleneck := totalSupply - routed
+		for v := int32(t); int(v) != s; {
+			e := prevEdge[v]
+			if g.cap[e] < bottleneck {
+				bottleneck = g.cap[e]
+			}
+			v = g.to[e^1]
+		}
+		for v := int32(t); int(v) != s; {
+			e := prevEdge[v]
+			g.cap[e] -= bottleneck
+			g.cap[e^1] += bottleneck
+			totalCost += bottleneck * g.cost[e]
+			v = g.to[e^1]
+		}
+		routed += bottleneck
+	}
+	return totalCost, nil
+}
+
+// addInternal appends an edge without bounds checks; used for the
+// super-source/super-sink arcs whose endpoints exceed g.n.
+func (g *Graph) addInternal(from, to int, capacity, cost int64) {
+	g.to = append(g.to, int32(to))
+	g.cap = append(g.cap, capacity)
+	g.cost = append(g.cost, cost)
+	g.next = append(g.next, g.head[from])
+	g.head[from] = int32(len(g.to) - 1)
+
+	g.to = append(g.to, int32(from))
+	g.cap = append(g.cap, 0)
+	g.cost = append(g.cost, -cost)
+	g.next = append(g.next, g.head[to])
+	g.head[to] = int32(len(g.to) - 1)
+}

@@ -1,0 +1,41 @@
+package mrc
+
+// fenwick is a binary indexed tree over int64 sums, used to count the
+// unique bytes touched between two accesses to the same object in
+// O(log n) per request.
+type fenwick struct {
+	tree []int64
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{tree: make([]int64, n+1)}
+}
+
+// Add adds v at position i (0-based).
+func (f *fenwick) Add(i int, v int64) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += v
+	}
+}
+
+// prefix returns the sum of positions [0, i] (0-based, inclusive).
+func (f *fenwick) prefix(i int) int64 {
+	var s int64
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// Sum returns the sum over positions [lo, hi] inclusive; zero for an
+// empty range.
+func (f *fenwick) Sum(lo, hi int) int64 {
+	if lo > hi {
+		return 0
+	}
+	s := f.prefix(hi)
+	if lo > 0 {
+		s -= f.prefix(lo - 1)
+	}
+	return s
+}

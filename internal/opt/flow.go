@@ -1,0 +1,105 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"lfo/internal/mcf"
+	"lfo/internal/trace"
+)
+
+// solveFlow builds the FOO min-cost flow graph (Figure 4 of the paper) over
+// the selected intervals and marks Admit[i] for every interval whose bytes
+// are routed entirely along the cache (central) path.
+//
+// The graph uses the per-interval formulation, which is equivalent to the
+// paper's first-to-last-request formulation after supply cancellation at
+// interior nodes: each interval injects size bytes at its start request and
+// withdraws them at its end request; a bypass arc of capacity size and
+// per-byte cost C/S models a miss, while central arcs of capacity CacheSize
+// and zero cost model storing bytes in the cache.
+//
+// Only request indices that appear as interval endpoints become nodes
+// (consecutive endpoints are joined by a single central arc), which keeps
+// the graph small when rank selection drops intervals.
+func solveFlow(tr *trace.Trace, selected []interval, cfg Config, res *Result) error {
+	if len(selected) == 0 {
+		return nil
+	}
+
+	// Collect endpoint request indices and compress to node ids.
+	idxSet := make(map[int]struct{}, 2*len(selected))
+	for _, iv := range selected {
+		idxSet[iv.from] = struct{}{}
+		idxSet[iv.to] = struct{}{}
+	}
+	idx := make([]int, 0, len(idxSet))
+	for i := range idxSet {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	node := make(map[int]int, len(idx))
+	for k, i := range idx {
+		node[i] = k
+	}
+
+	g := mcf.NewGraph(len(idx))
+	// Central path: consecutive compressed nodes, capacity = cache size.
+	for k := 0; k+1 < len(idx); k++ {
+		g.AddEdge(k, k+1, cfg.CacheSize, 0)
+	}
+	// Bypass arcs and supplies per interval.
+	bypass := make([]int, len(selected))
+	for k, iv := range selected {
+		perByte := iv.cost / float64(iv.size) * float64(cfg.CostScale)
+		c := int64(perByte + 0.5)
+		if c < 1 {
+			c = 1
+		}
+		bypass[k] = g.AddEdge(node[iv.from], node[iv.to], iv.size, c)
+		g.AddSupply(node[iv.from], iv.size)
+		g.AddSupply(node[iv.to], -iv.size)
+	}
+	if _, err := g.Solve(); err != nil {
+		return fmt.Errorf("opt: FOO flow solve: %w", err)
+	}
+	for k, iv := range selected {
+		// Cached iff no byte bypassed the cache (§2.1: "verify that all
+		// the request's bytes are routed along the central path").
+		res.Admit[iv.from] = g.Flow(bypass[k]) == 0
+	}
+	repairSchedule(tr, selected, cfg, res)
+	return nil
+}
+
+// repairSchedule greedily re-admits intervals the flow extraction left
+// out. Min-cost flow optima can split an interval's bytes between the
+// cache and the bypass (footnote 2 of the paper); the all-bytes-central
+// extraction rule then discards the interval even when fully caching it
+// would have been feasible. The repair replays occupancy of the admitted
+// set and adds any remaining interval, highest C/(S·L) rank first, that
+// fits at every time step. The result is feasible and never worse than the
+// raw extraction.
+func repairSchedule(tr *trace.Trace, selected []interval, cfg Config, res *Result) {
+	occ := newSegTree(tr.Len())
+	var rest []interval
+	for _, iv := range selected {
+		if res.Admit[iv.from] {
+			occ.Add(iv.from, iv.to, iv.size)
+		} else {
+			rest = append(rest, iv)
+		}
+	}
+	sort.Slice(rest, func(a, b int) bool {
+		if rest[a].rank != rest[b].rank {
+			return rest[a].rank > rest[b].rank
+		}
+		return rest[a].from < rest[b].from
+	})
+	for _, iv := range rest {
+		if occ.Max(iv.from, iv.to)+iv.size <= cfg.CacheSize {
+			occ.Add(iv.from, iv.to, iv.size)
+			res.Admit[iv.from] = true
+		}
+	}
+}

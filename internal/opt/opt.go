@@ -1,0 +1,230 @@
+// Package opt computes the offline-optimal caching decisions (OPT) that
+// LFO learns from (§2.1 of the paper).
+//
+// The exact method models OPT as a min-cost flow problem (FOO — flow-based
+// offline optimal, after Berger, Beckmann and Harchol-Balter, SIGMETRICS
+// 2018): each pair of consecutive requests to the same object forms an
+// interval whose bytes either rest in the cache (zero cost, bounded by the
+// cache size) or bypass it (a miss, costing the retrieval cost). See
+// Figure 4 of the paper.
+//
+// Because min-cost flow on multi-million-node graphs is slow, the package
+// also implements the paper's ranking approximation — solve only for the
+// intervals with the highest C/(S·L) rank and declare the rest uncached —
+// and a fast feasible greedy (in the spirit of PFOO-L) that admits
+// intervals in rank order subject to a per-time-step capacity check.
+// Belady's algorithm is provided for the unit-size special case, where it
+// is provably optimal and anchors correctness tests.
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"lfo/internal/trace"
+)
+
+// Algorithm selects how OPT decisions are computed.
+type Algorithm int
+
+const (
+	// AlgoAuto uses AlgoFlow when the (ranked) interval count is small
+	// enough and AlgoGreedy otherwise.
+	AlgoAuto Algorithm = iota
+	// AlgoFlow solves the FOO min-cost flow exactly over the selected
+	// intervals.
+	AlgoFlow
+	// AlgoGreedy admits intervals in C/(S·L) rank order subject to a
+	// feasible per-time-step capacity constraint.
+	AlgoGreedy
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoFlow:
+		return "flow"
+	case AlgoGreedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Config parameterizes the OPT computation.
+type Config struct {
+	// CacheSize is the cache capacity in bytes. Required.
+	CacheSize int64
+	// Algorithm selects the solver; AlgoAuto by default.
+	Algorithm Algorithm
+	// RankFraction, in (0, 1], keeps only the top fraction of intervals
+	// ranked by C/(S·L) (§2.1: "split the set of requests along a
+	// ranking axis"); the remainder are declared uncached without
+	// solving. Zero means 1.0 (solve everything).
+	RankFraction float64
+	// CostScale converts fractional per-byte costs to the integral costs
+	// the flow solver needs. Zero means 1024.
+	CostScale int64
+	// AutoFlowLimit is the interval count up to which AlgoAuto uses the
+	// exact flow solver; larger instances fall back to the feasible
+	// greedy (the successive-shortest-path solve grows super-linearly in
+	// the interval count). Zero means 12000.
+	AutoFlowLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RankFraction <= 0 || c.RankFraction > 1 {
+		c.RankFraction = 1
+	}
+	if c.CostScale <= 0 {
+		c.CostScale = 1024
+	}
+	if c.AutoFlowLimit <= 0 {
+		c.AutoFlowLimit = 12000
+	}
+	return c
+}
+
+// Result holds OPT's per-request decisions and the performance OPT
+// achieves on the analyzed trace.
+type Result struct {
+	// Admit reports, per request index, whether OPT keeps the object in
+	// the cache from this request until the object's next request.
+	// Requests without a further request to the same object are always
+	// false (caching them yields no hit).
+	Admit []bool
+	// Hit reports, per request index, whether the request is served from
+	// the cache under OPT's schedule (i.e. the previous interval for the
+	// object was admitted).
+	Hit []bool
+	// Hits is the number of true entries in Hit.
+	Hits int
+	// HitBytes is the total size of hit requests.
+	HitBytes int64
+	// TotalBytes is the total size of all requests.
+	TotalBytes int64
+	// MissCost is the summed Cost of all missed requests, including
+	// compulsory first-request misses.
+	MissCost float64
+	// Solved is the number of intervals given to the solver (after rank
+	// selection).
+	Solved int
+	// Intervals is the total number of intervals (requests with a next
+	// request).
+	Intervals int
+}
+
+// BHR returns the byte hit ratio achieved by OPT's schedule.
+func (r *Result) BHR() float64 {
+	if r.TotalBytes == 0 {
+		return 0
+	}
+	return float64(r.HitBytes) / float64(r.TotalBytes)
+}
+
+// OHR returns the object hit ratio achieved by OPT's schedule.
+func (r *Result) OHR() float64 {
+	if len(r.Hit) == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(len(r.Hit))
+}
+
+// interval is a span between consecutive requests to one object.
+type interval struct {
+	from, to int // request indices
+	size     int64
+	cost     float64 // full retrieval cost C for a miss on this interval
+	rank     float64 // C / (S * L)
+}
+
+// buildIntervals extracts all reuse intervals and ranks them.
+func buildIntervals(tr *trace.Trace) []interval {
+	next := tr.NextRequestIndex()
+	var ivs []interval
+	for i, r := range tr.Requests {
+		j := next[i]
+		if j < 0 {
+			continue
+		}
+		l := float64(j - i)
+		ivs = append(ivs, interval{
+			from: i, to: j,
+			size: r.Size,
+			cost: tr.Requests[j].Cost, // cost saved if request j hits
+			rank: tr.Requests[j].Cost / (float64(r.Size) * l),
+		})
+	}
+	return ivs
+}
+
+// selectByRank returns the top fraction of intervals by rank, preserving
+// no particular order. fraction must be in (0,1].
+func selectByRank(ivs []interval, fraction float64) []interval {
+	if fraction >= 1 || len(ivs) == 0 {
+		return ivs
+	}
+	keep := int(float64(len(ivs)) * fraction)
+	if keep < 1 {
+		keep = 1
+	}
+	sorted := append([]interval(nil), ivs...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].rank > sorted[b].rank })
+	return sorted[:keep]
+}
+
+// Compute derives OPT's decisions for the trace under the config.
+func Compute(tr *trace.Trace, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CacheSize <= 0 {
+		return nil, fmt.Errorf("opt: CacheSize must be positive, got %d", cfg.CacheSize)
+	}
+	n := tr.Len()
+	res := &Result{
+		Admit: make([]bool, n),
+		Hit:   make([]bool, n),
+	}
+	ivs := buildIntervals(tr)
+	res.Intervals = len(ivs)
+	selected := selectByRank(ivs, cfg.RankFraction)
+	res.Solved = len(selected)
+
+	algo := cfg.Algorithm
+	if algo == AlgoAuto {
+		if len(selected) <= cfg.AutoFlowLimit {
+			algo = AlgoFlow
+		} else {
+			algo = AlgoGreedy
+		}
+	}
+
+	var err error
+	switch algo {
+	case AlgoFlow:
+		err = solveFlow(tr, selected, cfg, res)
+	case AlgoGreedy:
+		solveGreedy(tr, selected, cfg, res)
+	default:
+		err = fmt.Errorf("opt: unknown algorithm %v", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Derive hits and miss cost from the admission schedule.
+	prev := tr.PrevRequestIndex()
+	for j, r := range tr.Requests {
+		res.TotalBytes += r.Size
+		i := prev[j]
+		if i >= 0 && res.Admit[i] {
+			res.Hit[j] = true
+			res.Hits++
+			res.HitBytes += r.Size
+		} else {
+			res.MissCost += r.Cost
+		}
+	}
+	return res, nil
+}

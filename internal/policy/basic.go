@@ -1,0 +1,150 @@
+package policy
+
+import (
+	"container/list"
+	"math/rand"
+
+	"lfo/internal/pq"
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+// Random admits everything and evicts uniformly random victims (RND in
+// Fig 1 of the paper).
+type Random struct {
+	store *sim.Store[int] // payload: index into ids
+	ids   []trace.ObjectID
+	rng   *rand.Rand
+}
+
+// NewRandom returns a random-eviction cache.
+func NewRandom(capacity, seed int64) *Random {
+	return &Random{store: sim.NewStore[int](capacity), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements sim.Policy.
+func (p *Random) Name() string { return "RND" }
+
+// Request implements sim.Policy.
+func (p *Random) Request(r trace.Request) bool {
+	if p.store.Has(r.ID) {
+		return true
+	}
+	if r.Size > p.store.Capacity() {
+		return false
+	}
+	for !p.store.Fits(r.Size) {
+		i := p.rng.Intn(len(p.ids))
+		victim := p.ids[i]
+		last := len(p.ids) - 1
+		p.ids[i] = p.ids[last]
+		p.store.Get(p.ids[i]).Payload = i
+		p.ids = p.ids[:last]
+		p.store.Remove(victim)
+	}
+	e := p.store.Add(r.ID, r.Size)
+	e.Payload = len(p.ids)
+	p.ids = append(p.ids, r.ID)
+	return false
+}
+
+// FIFO evicts in insertion order.
+type FIFO struct {
+	store *sim.Store[*list.Element]
+	queue *list.List // front = oldest
+}
+
+// NewFIFO returns a first-in-first-out cache.
+func NewFIFO(capacity int64) *FIFO {
+	return &FIFO{store: sim.NewStore[*list.Element](capacity), queue: list.New()}
+}
+
+// Name implements sim.Policy.
+func (p *FIFO) Name() string { return "FIFO" }
+
+// Request implements sim.Policy.
+func (p *FIFO) Request(r trace.Request) bool {
+	if p.store.Has(r.ID) {
+		return true
+	}
+	if r.Size > p.store.Capacity() {
+		return false
+	}
+	for !p.store.Fits(r.Size) {
+		oldest := p.queue.Front()
+		id := oldest.Value.(trace.ObjectID)
+		p.queue.Remove(oldest)
+		p.store.Remove(id)
+	}
+	e := p.store.Add(r.ID, r.Size)
+	e.Payload = p.queue.PushBack(r.ID)
+	return false
+}
+
+// LRU evicts the least recently used object.
+type LRU struct {
+	store *sim.Store[*list.Element]
+	lru   *list.List // front = most recent
+}
+
+// NewLRU returns a least-recently-used cache.
+func NewLRU(capacity int64) *LRU {
+	return &LRU{store: sim.NewStore[*list.Element](capacity), lru: list.New()}
+}
+
+// Name implements sim.Policy.
+func (p *LRU) Name() string { return "LRU" }
+
+// Request implements sim.Policy.
+func (p *LRU) Request(r trace.Request) bool {
+	if e := p.store.Get(r.ID); e != nil {
+		p.lru.MoveToFront(e.Payload)
+		return true
+	}
+	if r.Size > p.store.Capacity() {
+		return false
+	}
+	for !p.store.Fits(r.Size) {
+		tail := p.lru.Back()
+		id := tail.Value.(trace.ObjectID)
+		p.lru.Remove(tail)
+		p.store.Remove(id)
+	}
+	e := p.store.Add(r.ID, r.Size)
+	e.Payload = p.lru.PushFront(r.ID)
+	return false
+}
+
+// LFU evicts the least frequently used object (in-cache frequency).
+type LFU struct {
+	store *sim.Store[int64] // payload: frequency
+	pq    *pq.Queue
+}
+
+// NewLFU returns a least-frequently-used cache.
+func NewLFU(capacity int64) *LFU {
+	return &LFU{store: sim.NewStore[int64](capacity), pq: pq.New()}
+}
+
+// Name implements sim.Policy.
+func (p *LFU) Name() string { return "LFU" }
+
+// Request implements sim.Policy.
+func (p *LFU) Request(r trace.Request) bool {
+	if e := p.store.Get(r.ID); e != nil {
+		e.Payload++
+		p.pq.Update(r.ID, float64(e.Payload))
+		return true
+	}
+	if r.Size > p.store.Capacity() {
+		return false
+	}
+	for !p.store.Fits(r.Size) {
+		id, _ := p.pq.PopMin()
+		p.store.Remove(id)
+	}
+	e := p.store.Add(r.ID, r.Size)
+	e.Payload = 1
+	p.pq.Push(r.ID, 1)
+	return false
+}

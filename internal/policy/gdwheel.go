@@ -1,0 +1,213 @@
+package policy
+
+import (
+	"container/list"
+	"math/bits"
+
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+// GD-Wheel geometry: wheelLevels hierarchical wheels of wheelSlots slots
+// each cover cost values up to wheelSlots^wheelLevels - 1.
+const (
+	wheelSlots  = 256
+	wheelLevels = 4
+)
+
+// GDWheel implements the Greedy-Dual cost-aware policy with hierarchical
+// cost wheels (Li & Cox, EuroSys 2015 [49]). Greedy-Dual assigns each
+// object the priority H = L + C (L the global age, C the retrieval cost)
+// and evicts the minimum; GD-Wheel makes this O(1) by placing objects on
+// timing-wheel-like cost wheels and representing L as the wheel hands.
+// A hit restores the object's priority by repositioning it C slots ahead
+// of the hand. Per-level occupancy bitmaps let the hands jump directly to
+// the next occupied slot, so evictions stay O(1) even when costs span the
+// full wheel range (CDN byte costs do).
+type GDWheel struct {
+	store    *sim.Store[*gdwEntry]
+	wheels   [wheelLevels][wheelSlots]*list.List
+	occupied [wheelLevels]slotmap
+	hand     [wheelLevels]int
+	count    int // total queued entries, to guard hand advancement
+}
+
+// gdwEntry locates an object on the wheels.
+type gdwEntry struct {
+	elem      *list.Element
+	level     int
+	slot      int
+	remainder int64 // cost below this level's resolution, for migration
+	id        trace.ObjectID
+}
+
+// NewGDWheel returns a Greedy-Dual cache backed by cost wheels.
+func NewGDWheel(capacity int64) *GDWheel {
+	p := &GDWheel{store: sim.NewStore[*gdwEntry](capacity)}
+	for l := 0; l < wheelLevels; l++ {
+		for s := 0; s < wheelSlots; s++ {
+			p.wheels[l][s] = list.New()
+		}
+	}
+	return p
+}
+
+// Name implements sim.Policy.
+func (p *GDWheel) Name() string { return "GD-Wheel" }
+
+// levelSpan[l] = wheelSlots^l, the cost covered by one slot of level l.
+var levelSpan = func() [wheelLevels + 1]int64 {
+	var s [wheelLevels + 1]int64
+	s[0] = 1
+	for i := 1; i <= wheelLevels; i++ {
+		s[i] = s[i-1] * wheelSlots
+	}
+	return s
+}()
+
+// costUnits quantizes a retrieval cost onto the wheel range [1, max].
+func costUnits(c float64) int64 {
+	u := int64(c)
+	if u < 1 {
+		u = 1
+	}
+	if max := levelSpan[wheelLevels] - 1; u > max {
+		u = max
+	}
+	return u
+}
+
+// place inserts an entry c cost units ahead of the hands.
+func (p *GDWheel) place(e *gdwEntry, c int64) {
+	level := 0
+	for level+1 < wheelLevels && c >= levelSpan[level+1] {
+		level++
+	}
+	offset := c / levelSpan[level]
+	e.level = level
+	e.slot = int((int64(p.hand[level]) + offset) % wheelSlots)
+	e.remainder = c % levelSpan[level]
+	e.elem = p.wheels[level][e.slot].PushBack(e)
+	p.occupied[level].set(e.slot)
+	p.count++
+}
+
+// unlink removes an entry from its wheel slot.
+func (p *GDWheel) unlink(e *gdwEntry) {
+	l := p.wheels[e.level][e.slot]
+	l.Remove(e.elem)
+	if l.Len() == 0 {
+		p.occupied[e.level].clear(e.slot)
+	}
+	e.elem = nil
+	p.count--
+}
+
+// evictOne moves the hands to the next due object and evicts it.
+func (p *GDWheel) evictOne() {
+	if p.count == 0 {
+		panic("policy: GDWheel evict with empty wheels")
+	}
+	for guard := 0; ; guard++ {
+		if guard > wheelLevels*wheelSlots {
+			panic("policy: GDWheel hand sweep failed to locate entries")
+		}
+		if s, ok := p.occupied[0].next(p.hand[0]); ok {
+			p.hand[0] = s
+			e := p.wheels[0][s].Front().Value.(*gdwEntry)
+			p.unlink(e)
+			p.store.Remove(e.id)
+			return
+		}
+		// Level 0 exhausted for this rotation: wrap and pull the next
+		// occupied higher-level slot down.
+		p.hand[0] = 0
+		p.pull(1)
+	}
+}
+
+// pull advances level l's hand to its next occupied slot — cascading to
+// level l+1 when this rotation of level l is exhausted — and migrates that
+// slot's entries down to finer wheels. Migration always places entries at
+// levels strictly below l (remainders are below this level's resolution),
+// so after pull returns, the caller re-scans its own level.
+func (p *GDWheel) pull(l int) {
+	if l >= wheelLevels {
+		// Carry beyond the top wheel is vacuous: lower levels wrap and
+		// re-scan entries placed for their next rotation.
+		return
+	}
+	if s, ok := p.occupied[l].next(p.hand[l] + 1); ok {
+		p.migrate(l, s)
+		return
+	}
+	// This rotation of level l is exhausted: wrap, carry into level l+1
+	// (which migrates entries into levels <= l), then forward anything
+	// now due on this level — including entries that had been placed
+	// "behind the hand" for this new rotation.
+	p.hand[l] = 0
+	p.pull(l + 1)
+	if s, ok := p.occupied[l].next(0); ok {
+		p.migrate(l, s)
+	}
+}
+
+// migrate moves level l's hand to slot s and re-places the slot's entries
+// on finer wheels according to their remainders.
+func (p *GDWheel) migrate(l, s int) {
+	p.hand[l] = s
+	slot := p.wheels[l][s]
+	for slot.Len() > 0 {
+		e := slot.Front().Value.(*gdwEntry)
+		p.unlink(e)
+		p.place(e, e.remainder)
+	}
+}
+
+// Request implements sim.Policy.
+func (p *GDWheel) Request(r trace.Request) bool {
+	if e := p.store.Get(r.ID); e != nil {
+		// Hit: restore priority to H = L + C.
+		ent := e.Payload
+		p.unlink(ent)
+		p.place(ent, costUnits(r.Cost))
+		return true
+	}
+	if r.Size > p.store.Capacity() {
+		return false
+	}
+	for !p.store.Fits(r.Size) {
+		p.evictOne()
+	}
+	e := p.store.Add(r.ID, r.Size)
+	ent := &gdwEntry{id: r.ID}
+	e.Payload = ent
+	p.place(ent, costUnits(r.Cost))
+	return false
+}
+
+// slotmap is a 256-bit occupancy bitmap.
+type slotmap [wheelSlots / 64]uint64
+
+func (m *slotmap) set(i int)   { m[i/64] |= 1 << (i % 64) }
+func (m *slotmap) clear(i int) { m[i/64] &^= 1 << (i % 64) }
+
+// next returns the first occupied slot >= from, if any.
+func (m *slotmap) next(from int) (int, bool) {
+	if from >= wheelSlots {
+		return 0, false
+	}
+	w := from / 64
+	// Mask off bits below `from` in the first word.
+	cur := m[w] &^ ((1 << (from % 64)) - 1)
+	for {
+		if cur != 0 {
+			return w*64 + bits.TrailingZeros64(cur), true
+		}
+		w++
+		if w >= len(m) {
+			return 0, false
+		}
+		cur = m[w]
+	}
+}

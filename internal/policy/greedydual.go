@@ -1,0 +1,95 @@
+package policy
+
+import (
+	"lfo/internal/pq"
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+// LFUDA is LFU with Dynamic Aging (Arlitt et al. [4], Shah et al. [67]):
+// an object's key is K_i = F_i + L where F_i is its in-cache frequency and
+// L is a global age that jumps to the key of each evicted object. Aging
+// lets formerly hot objects drain out after the workload shifts.
+type LFUDA struct {
+	store *sim.Store[int64] // payload: frequency
+	pq    *pq.Queue
+	age   float64
+}
+
+// NewLFUDA returns an LFU-with-dynamic-aging cache.
+func NewLFUDA(capacity int64) *LFUDA {
+	return &LFUDA{store: sim.NewStore[int64](capacity), pq: pq.New()}
+}
+
+// Name implements sim.Policy.
+func (p *LFUDA) Name() string { return "LFUDA" }
+
+// Request implements sim.Policy.
+func (p *LFUDA) Request(r trace.Request) bool {
+	if e := p.store.Get(r.ID); e != nil {
+		e.Payload++
+		p.pq.Update(r.ID, float64(e.Payload)+p.age)
+		return true
+	}
+	if r.Size > p.store.Capacity() {
+		return false
+	}
+	for !p.store.Fits(r.Size) {
+		id, key := p.pq.PopMin()
+		p.age = key // dynamic aging: L := key of evicted object
+		p.store.Remove(id)
+	}
+	e := p.store.Add(r.ID, r.Size)
+	e.Payload = 1
+	p.pq.Push(r.ID, 1+p.age)
+	return false
+}
+
+// GDSF is Greedy-Dual-Size-Frequency (Cherkasova [17]): priority
+// H_i = L + F_i * C_i / S_i, evicting the minimum and aging L to the
+// evicted priority. With C_i = S_i this favors frequency; with C_i = 1 it
+// favors small objects (the classic OHR-optimizing configuration).
+type GDSF struct {
+	store *sim.Store[*gdsfMeta]
+	pq    *pq.Queue
+	age   float64
+}
+
+type gdsfMeta struct {
+	freq int64
+	cost float64
+}
+
+// NewGDSF returns a Greedy-Dual-Size-Frequency cache.
+func NewGDSF(capacity int64) *GDSF {
+	return &GDSF{store: sim.NewStore[*gdsfMeta](capacity), pq: pq.New()}
+}
+
+// Name implements sim.Policy.
+func (p *GDSF) Name() string { return "GDSF" }
+
+func (p *GDSF) priority(m *gdsfMeta, size int64) float64 {
+	return p.age + float64(m.freq)*m.cost/float64(size)
+}
+
+// Request implements sim.Policy.
+func (p *GDSF) Request(r trace.Request) bool {
+	if e := p.store.Get(r.ID); e != nil {
+		e.Payload.freq++
+		e.Payload.cost = r.Cost
+		p.pq.Update(r.ID, p.priority(e.Payload, e.Size))
+		return true
+	}
+	if r.Size > p.store.Capacity() {
+		return false
+	}
+	for !p.store.Fits(r.Size) {
+		id, key := p.pq.PopMin()
+		p.age = key
+		p.store.Remove(id)
+	}
+	e := p.store.Add(r.ID, r.Size)
+	e.Payload = &gdsfMeta{freq: 1, cost: r.Cost}
+	p.pq.Push(r.ID, p.priority(e.Payload, r.Size))
+	return false
+}

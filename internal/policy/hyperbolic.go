@@ -1,0 +1,99 @@
+package policy
+
+import (
+	"math/rand"
+
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+// evictionSamples is the candidate count for sampled-eviction policies
+// (Hyperbolic and LHD both use sampling, [13], [7]).
+const evictionSamples = 64
+
+// Hyperbolic caching (Blankstein, Sen, Freedman, ATC 2017 [13]) ranks
+// objects by frequency divided by time in cache, which — unlike LRU or
+// LFU — has no fixed decay shape. Eviction samples a set of resident
+// objects and drops the minimum-priority one. Priorities are divided by
+// size so large objects must earn their keep (the paper's size-aware
+// variant).
+type Hyperbolic struct {
+	store *sim.Store[int] // payload: index into ids
+	ids   []trace.ObjectID
+	meta  map[trace.ObjectID]*hypMeta
+	rng   *rand.Rand
+	clock int64
+}
+
+type hypMeta struct {
+	freq    int64
+	arrival int64
+}
+
+// NewHyperbolic returns a hyperbolic cache with sampled eviction.
+func NewHyperbolic(capacity, seed int64) *Hyperbolic {
+	return &Hyperbolic{
+		store: sim.NewStore[int](capacity),
+		meta:  make(map[trace.ObjectID]*hypMeta, 1024),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements sim.Policy.
+func (p *Hyperbolic) Name() string { return "Hyperbolic" }
+
+// priority is the hyperbolic rank: frequency per unit time in cache, per
+// byte.
+func (p *Hyperbolic) priority(id trace.ObjectID, size int64) float64 {
+	m := p.meta[id]
+	age := p.clock - m.arrival
+	if age < 1 {
+		age = 1
+	}
+	return float64(m.freq) / (float64(age) * float64(size))
+}
+
+// evictOne removes the lowest-priority object among a random sample.
+func (p *Hyperbolic) evictOne() {
+	var victim trace.ObjectID
+	best := -1.0
+	n := evictionSamples
+	if n > len(p.ids) {
+		n = len(p.ids)
+	}
+	for i := 0; i < n; i++ {
+		id := p.ids[p.rng.Intn(len(p.ids))]
+		e := p.store.Get(id)
+		pr := p.priority(id, e.Size)
+		if best < 0 || pr < best {
+			best, victim = pr, id
+		}
+	}
+	vi := p.store.Get(victim).Payload
+	last := len(p.ids) - 1
+	p.ids[vi] = p.ids[last]
+	p.store.Get(p.ids[vi]).Payload = vi
+	p.ids = p.ids[:last]
+	p.store.Remove(victim)
+	delete(p.meta, victim)
+}
+
+// Request implements sim.Policy.
+func (p *Hyperbolic) Request(r trace.Request) bool {
+	p.clock++
+	if p.store.Has(r.ID) {
+		p.meta[r.ID].freq++
+		return true
+	}
+	if r.Size > p.store.Capacity() {
+		return false
+	}
+	for !p.store.Fits(r.Size) {
+		p.evictOne()
+	}
+	e := p.store.Add(r.ID, r.Size)
+	e.Payload = len(p.ids)
+	p.ids = append(p.ids, r.ID)
+	p.meta[r.ID] = &hypMeta{freq: 1, arrival: p.clock}
+	return false
+}

@@ -1,0 +1,55 @@
+// Package policy implements the caching systems the paper compares LFO
+// against (Fig 1 and Fig 6): RND, FIFO, LRU, LRU-K, LFU, LFUDA, GDSF,
+// GD-Wheel, S4LRU, AdaptSize, Hyperbolic, LHD, a model-free RL baseline
+// (RLC), and a TinyLFU extension. All policies implement sim.Policy, are
+// byte-accurate, and are deterministic given their construction
+// parameters.
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"lfo/internal/sim"
+)
+
+// Constructor builds a policy instance for a given cache capacity (bytes)
+// and deterministic seed (used only by randomized policies).
+type Constructor func(capacity int64, seed int64) sim.Policy
+
+// registry maps policy names to constructors.
+var registry = map[string]Constructor{
+	"rnd":        func(c, s int64) sim.Policy { return NewRandom(c, s) },
+	"fifo":       func(c, s int64) sim.Policy { return NewFIFO(c) },
+	"lru":        func(c, s int64) sim.Policy { return NewLRU(c) },
+	"lruk":       func(c, s int64) sim.Policy { return NewLRUK(c, 2) },
+	"lfu":        func(c, s int64) sim.Policy { return NewLFU(c) },
+	"lfuda":      func(c, s int64) sim.Policy { return NewLFUDA(c) },
+	"gdsf":       func(c, s int64) sim.Policy { return NewGDSF(c) },
+	"gdwheel":    func(c, s int64) sim.Policy { return NewGDWheel(c) },
+	"s4lru":      func(c, s int64) sim.Policy { return NewS4LRU(c) },
+	"adaptsize":  func(c, s int64) sim.Policy { return NewAdaptSize(c, s) },
+	"hyperbolic": func(c, s int64) sim.Policy { return NewHyperbolic(c, s) },
+	"lhd":        func(c, s int64) sim.Policy { return NewLHD(c, s) },
+	"tinylfu":    func(c, s int64) sim.Policy { return NewTinyLFU(c) },
+	"rlc":        func(c, s int64) sim.Policy { return NewRLC(c, s) },
+}
+
+// New constructs a policy by name. Names returns the valid names.
+func New(name string, capacity, seed int64) (sim.Policy, error) {
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (valid: %v)", name, Names())
+	}
+	return c(capacity, seed), nil
+}
+
+// Names returns the registered policy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

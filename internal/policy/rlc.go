@@ -1,0 +1,126 @@
+package policy
+
+import (
+	"container/list"
+	"math/bits"
+	"math/rand"
+
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+// RLC state-space geometry: states are (log2 size, log2 recency) buckets.
+const (
+	rlcSizeBuckets    = 16
+	rlcRecencyBuckets = 10
+)
+
+// RLC is a model-free reinforcement-learning cache in the style of the
+// RL-based caching evaluated at HotNets'17 [48] and reproduced in Fig 1 of
+// the paper: ε-greedy Q-learning chooses between admitting and bypassing
+// each missed object over a coarse (size, recency) state space, with LRU
+// eviction. Rewards arrive only when an admitted object later hits (or is
+// evicted unused) — exactly the delayed-feedback pathology the paper
+// identifies as the root cause of model-free RL's weakness for caching.
+// Expect it to land near RND and LRU, well below GDSF.
+type RLC struct {
+	store *sim.Store[*rlcMeta]
+	lru   *list.List
+	rng   *rand.Rand
+
+	q        [rlcSizeBuckets][rlcRecencyBuckets][2]float64
+	epsilon  float64
+	alpha    float64
+	lastSeen map[trace.ObjectID]int64
+	clock    int64
+}
+
+type rlcMeta struct {
+	elem *list.Element
+	sb   int // state at admission time
+	rb   int
+	hits int
+}
+
+// NewRLC returns the Q-learning cache baseline.
+func NewRLC(capacity, seed int64) *RLC {
+	return &RLC{
+		store:    sim.NewStore[*rlcMeta](capacity),
+		lru:      list.New(),
+		rng:      rand.New(rand.NewSource(seed)),
+		epsilon:  0.1,
+		alpha:    0.1,
+		lastSeen: make(map[trace.ObjectID]int64, 1024),
+	}
+}
+
+// Name implements sim.Policy.
+func (p *RLC) Name() string { return "RLC" }
+
+func (p *RLC) state(r trace.Request) (int, int) {
+	sb := bits.Len64(uint64(r.Size))
+	if sb >= rlcSizeBuckets {
+		sb = rlcSizeBuckets - 1
+	}
+	rb := rlcRecencyBuckets - 1 // never seen
+	if last, ok := p.lastSeen[r.ID]; ok {
+		rb = bits.Len64(uint64(p.clock - last))
+		if rb >= rlcRecencyBuckets {
+			rb = rlcRecencyBuckets - 1
+		}
+	}
+	return sb, rb
+}
+
+// learn applies a bandit-style Q update for a delayed reward.
+func (p *RLC) learn(sb, rb, action int, reward float64) {
+	q := &p.q[sb][rb][action]
+	*q += p.alpha * (reward - *q)
+}
+
+// Request implements sim.Policy.
+func (p *RLC) Request(r trace.Request) bool {
+	p.clock++
+	sb, rb := p.state(r)
+	defer func() { p.lastSeen[r.ID] = p.clock }()
+
+	if e := p.store.Get(r.ID); e != nil {
+		m := e.Payload
+		m.hits++
+		// Delayed reward: the admission decision that placed this
+		// object finally pays off.
+		p.learn(m.sb, m.rb, 1, 1)
+		p.lru.MoveToFront(m.elem)
+		return true
+	}
+	if r.Size > p.store.Capacity() {
+		return false
+	}
+	// ε-greedy action selection: 0 = bypass, 1 = admit.
+	action := 0
+	if p.rng.Float64() < p.epsilon {
+		action = p.rng.Intn(2)
+	} else if p.q[sb][rb][1] >= p.q[sb][rb][0] {
+		action = 1
+	}
+	if action == 0 {
+		p.learn(sb, rb, 0, 0) // bypass: neutral immediate reward
+		return false
+	}
+	for !p.store.Fits(r.Size) {
+		tail := p.lru.Back()
+		victim := tail.Value.(trace.ObjectID)
+		vm := p.store.Get(victim).Payload
+		if vm.hits == 0 {
+			// Evicted unused: the admission wasted space.
+			p.learn(vm.sb, vm.rb, 1, -0.2)
+		}
+		p.lru.Remove(tail)
+		p.store.Remove(victim)
+	}
+	e := p.store.Add(r.ID, r.Size)
+	m := &rlcMeta{sb: sb, rb: rb}
+	m.elem = p.lru.PushFront(r.ID)
+	e.Payload = m
+	return false
+}

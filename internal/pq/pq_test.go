@@ -1,0 +1,99 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lfo/internal/trace"
+)
+
+func TestPQueueBasics(t *testing.T) {
+	q := New()
+	q.Push(1, 5)
+	q.Push(2, 3)
+	q.Push(3, 8)
+	if id, pr := q.Min(); id != 2 || pr != 3 {
+		t.Fatalf("Min = %d,%g, want 2,3", id, pr)
+	}
+	q.Update(2, 10)
+	if id, _ := q.Min(); id != 1 {
+		t.Fatalf("after update Min = %d, want 1", id)
+	}
+	q.Remove(1)
+	if id, _ := q.Min(); id != 3 {
+		t.Fatalf("after remove Min = %d, want 3", id)
+	}
+	if pr, ok := q.Priority(3); !ok || pr != 8 {
+		t.Errorf("Priority(3) = %g,%v", pr, ok)
+	}
+	if _, ok := q.Priority(99); ok {
+		t.Error("Priority(99) found")
+	}
+	id, pr := q.PopMin()
+	if id != 3 || pr != 8 {
+		t.Errorf("PopMin = %d,%g", id, pr)
+	}
+	id, _ = q.PopMin()
+	if id != 2 || q.Len() != 0 {
+		t.Errorf("final PopMin = %d, len = %d", id, q.Len())
+	}
+}
+
+func TestPQueueTieBreakFIFO(t *testing.T) {
+	q := New()
+	q.Push(10, 1)
+	q.Push(20, 1)
+	q.Push(30, 1)
+	if id, _ := q.PopMin(); id != 10 {
+		t.Errorf("tie broke to %d, want 10 (oldest)", id)
+	}
+}
+
+// TestPQueueMatchesSort property: popping everything yields priorities in
+// non-decreasing order.
+func TestPQueueMatchesSort(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := New()
+		for i := 0; i < int(n); i++ {
+			q.Push(trace.ObjectID(i), float64(rng.Intn(20)))
+		}
+		// Random updates.
+		for i := 0; i < int(n)/2; i++ {
+			q.Update(trace.ObjectID(rng.Intn(int(n))), float64(rng.Intn(20)))
+		}
+		prev := -1.0
+		for q.Len() > 0 {
+			_, pr := q.PopMin()
+			if pr < prev {
+				return false
+			}
+			prev = pr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPQueuePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func(q *Queue)
+	}{
+		{"dup push", func(q *Queue) { q.Push(1, 1); q.Push(1, 2) }},
+		{"missing update", func(q *Queue) { q.Update(9, 1) }},
+		{"missing remove", func(q *Queue) { q.Remove(9) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			tc.f(New())
+		})
+	}
+}

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"lfo/internal/features"
+	"lfo/internal/gbdt"
+	"lfo/internal/trace"
+)
+
+// Server serves admission-likelihood predictions over TCP. The deployed
+// model is swappable at runtime (SetModel), mirroring LFO's per-window
+// model handoff, and every connection is handled by its own goroutine.
+type Server struct {
+	model    atomic.Pointer[gbdt.Model]
+	listener net.Listener
+	workers  int
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf receives connection-level errors; defaults to log.Printf.
+	// Must be set before Serve.
+	Logf func(format string, args ...interface{})
+}
+
+// New returns a server deploying the given model. workers bounds the
+// per-request prediction parallelism (0 = serial).
+func New(model *gbdt.Model, workers int) *Server {
+	s := &Server{workers: workers, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+	s.model.Store(model)
+	return s
+}
+
+// SetModel atomically swaps the deployed model.
+func (s *Server) SetModel(m *gbdt.Model) { s.model.Store(m) }
+
+// Listen binds the address (e.g. "127.0.0.1:0") and starts accepting in a
+// background goroutine. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.listener = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.Logf("server: accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// handle serves one connection until EOF or error.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	// Per-connection feature tracker for the compact opAdmit protocol;
+	// allocated lazily on the first opAdmit frame.
+	var tracker *features.Tracker
+	buf := make([]float64, features.Dim)
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
+				// Benign EOF on client disconnect; log the rest.
+				if !isEOF(err) {
+					s.Logf("server: read from %s: %v", conn.RemoteAddr(), err)
+				}
+			}
+			return
+		}
+		m := s.model.Load()
+		if m == nil {
+			if werr := writeFrame(conn, encodeError("no model deployed")); werr != nil {
+				return
+			}
+			continue
+		}
+		var probs []float64
+		switch {
+		case len(payload) > 0 && payload[0] == opPredict:
+			rows, derr := decodePredictRequest(payload, features.Dim)
+			if derr != nil {
+				err = derr
+				break
+			}
+			probs = make([]float64, len(rows)/features.Dim)
+			m.PredictBatch(rows, probs, s.workers)
+		case len(payload) > 0 && payload[0] == opAdmit:
+			reqs, derr := decodeAdmitRequest(payload)
+			if derr != nil {
+				err = derr
+				break
+			}
+			if tracker == nil {
+				tracker = features.NewTracker(1 << 22)
+			}
+			probs = make([]float64, len(reqs))
+			for i, ar := range reqs {
+				r := trace.Request{Time: ar.Time, ID: trace.ObjectID(ar.ID), Size: ar.Size, Cost: ar.Cost}
+				tracker.Features(r, ar.Free, buf)
+				probs[i] = m.Predict(buf)
+				tracker.Update(r)
+			}
+		default:
+			err = fmt.Errorf("server: unknown opcode in %d-byte frame", len(payload))
+		}
+		if err != nil {
+			if werr := writeFrame(conn, encodeError(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := writeFrame(conn, encodePredictResponse(probs)); err != nil {
+			return
+		}
+	}
+}
+
+func isEOF(err error) bool {
+	return err != nil && (err.Error() == "EOF" || errors.Is(err, net.ErrClosed))
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a prediction-service client. It is safe for sequential use;
+// wrap with a pool for concurrency.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a prediction server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Predict sends a flat row-major feature matrix (features.Dim wide) and
+// returns one probability per row.
+func (c *Client) Predict(rows []float64) ([]float64, error) {
+	if len(rows)%features.Dim != 0 {
+		return nil, fmt.Errorf("server: rows length %d not a multiple of dim %d", len(rows), features.Dim)
+	}
+	if err := writeFrame(c.conn, encodePredictRequest(rows, features.Dim)); err != nil {
+		return nil, fmt.Errorf("server: send: %w", err)
+	}
+	payload, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("server: receive: %w", err)
+	}
+	return decodePredictResponse(payload)
+}
+
+// Admit sends raw request tuples over the compact protocol (the server
+// tracks per-object feature history for this connection) and returns one
+// admission likelihood per request. A tenth of the bandwidth of Predict.
+func (c *Client) Admit(reqs []AdmitRequest) ([]float64, error) {
+	if err := writeFrame(c.conn, encodeAdmitRequest(reqs)); err != nil {
+		return nil, fmt.Errorf("server: send: %w", err)
+	}
+	payload, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("server: receive: %w", err)
+	}
+	return decodePredictResponse(payload)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

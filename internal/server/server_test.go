@@ -1,0 +1,372 @@
+package server
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"lfo/internal/features"
+	"lfo/internal/gbdt"
+	"lfo/internal/trace"
+)
+
+// testModel trains a small model over features.Dim-wide rows whose label
+// depends on the size feature.
+func testModel(t *testing.T) *gbdt.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ds := gbdt.NewDataset(features.Dim)
+	row := make([]float64, features.Dim)
+	for i := 0; i < 2000; i++ {
+		for j := range row {
+			row[j] = rng.Float64() * 100
+		}
+		label := 0.0
+		if row[features.FeatSize] > 50 {
+			label = 1
+		}
+		ds.Append(row, label)
+	}
+	p := gbdt.DefaultParams()
+	p.NumIterations = 10
+	m, err := gbdt.Train(ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func startServer(t *testing.T, m *gbdt.Model) (*Server, string) {
+	t.Helper()
+	s := New(m, 2)
+	s.Logf = t.Logf
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr.String()
+}
+
+func randRows(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]float64, n*features.Dim)
+	for i := range rows {
+		rows[i] = rng.Float64() * 100
+	}
+	return rows
+}
+
+func TestPredictOverTCPMatchesLocal(t *testing.T) {
+	m := testModel(t)
+	_, addr := startServer(t, m)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rows := randRows(50, 2)
+	got, err := c.Predict(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 50)
+	m.PredictBatch(rows, want, 1)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: remote %g != local %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPredictEmptyBatch(t *testing.T) {
+	_, addr := startServer(t, testModel(t))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Predict(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty predict returned %d rows", len(got))
+	}
+}
+
+func TestPredictBadDim(t *testing.T) {
+	_, addr := startServer(t, testModel(t))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Predict(make([]float64, features.Dim+1)); err == nil {
+		t.Error("bad row length accepted")
+	}
+}
+
+func TestServerNoModel(t *testing.T) {
+	s, addr := startServer(t, nil)
+	_ = s
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Predict(randRows(1, 3))
+	if err == nil || !strings.Contains(err.Error(), "no model") {
+		t.Errorf("want remote no-model error, got %v", err)
+	}
+}
+
+func TestModelSwapMidConnection(t *testing.T) {
+	m1 := testModel(t)
+	s, addr := startServer(t, m1)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rows := randRows(10, 4)
+	before, err := c.Predict(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap in a trivially different model (base score only).
+	s.SetModel(&gbdt.Model{Dim: features.Dim, BaseScore: 3})
+	after, err := c.Predict(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("model swap had no effect")
+	}
+	wantP := 1 / (1 + math.Exp(-3.0))
+	if math.Abs(after[0]-wantP) > 1e-12 {
+		t.Errorf("after swap, p = %g, want %g", after[0], wantP)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	m := testModel(t)
+	_, addr := startServer(t, m)
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			rows := randRows(20, seed)
+			want := make([]float64, 20)
+			m.PredictBatch(rows, want, 1)
+			for round := 0; round < 20; round++ {
+				got, err := c.Predict(rows)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4, 5}
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("round trip %v != %v", got, payload)
+	}
+}
+
+func TestReadFrameRejectsHuge(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB claimed
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("huge frame accepted")
+	}
+}
+
+func TestPredictCodecRoundTrip(t *testing.T) {
+	rows := randRows(7, 5)
+	enc := encodePredictRequest(rows, features.Dim)
+	dec, err := decodePredictRequest(enc, features.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != dec[i] {
+			t.Fatal("request codec mismatch")
+		}
+	}
+	probs := []float64{0.1, 0.5, 0.99}
+	got, err := decodePredictResponse(encodePredictResponse(probs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range probs {
+		if got[i] != probs[i] {
+			t.Fatal("response codec mismatch")
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := decodePredictRequest([]byte{1}, features.Dim); err == nil {
+		t.Error("short request accepted")
+	}
+	if _, err := decodePredictRequest([]byte{9, 0, 0, 0, 0}, features.Dim); err == nil {
+		t.Error("bad opcode accepted")
+	}
+	if _, err := decodePredictResponse([]byte{1, 9, 0, 0, 0}); err == nil {
+		t.Error("truncated response accepted")
+	}
+	if _, err := decodePredictResponse(encodeError("boom")); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error frame decoded to %v", err)
+	}
+}
+
+// TestAdmitProtocolMatchesLocalTracking: the compact opAdmit path must
+// produce exactly the probabilities a local tracker + model would.
+func TestAdmitProtocolMatchesLocalTracking(t *testing.T) {
+	m := testModel(t)
+	_, addr := startServer(t, m)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A little request stream with repeats so gap features kick in.
+	var reqs []AdmitRequest
+	for i := 0; i < 60; i++ {
+		reqs = append(reqs, AdmitRequest{
+			Time: int64(i * 3),
+			ID:   uint64(i % 7),
+			Size: int64(100 + i%5*50),
+			Cost: float64(100 + i%5*50),
+			Free: int64(1 << 20),
+		})
+	}
+	got, err := c.Admit(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracker := features.NewTracker(0)
+	buf := make([]float64, features.Dim)
+	for i, ar := range reqs {
+		r := traceRequest(ar)
+		tracker.Features(r, ar.Free, buf)
+		want := m.Predict(buf)
+		tracker.Update(r)
+		if got[i] != want {
+			t.Fatalf("request %d: remote %g != local %g", i, got[i], want)
+		}
+	}
+}
+
+// TestAdmitSessionsIsolated: two connections must not share tracker state.
+func TestAdmitSessionsIsolated(t *testing.T) {
+	m := testModel(t)
+	_, addr := startServer(t, m)
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	warm := []AdmitRequest{
+		{Time: 0, ID: 42, Size: 100, Cost: 100, Free: 1000},
+		{Time: 10, ID: 42, Size: 100, Cost: 100, Free: 1000},
+	}
+	if _, err := c1.Admit(warm); err != nil {
+		t.Fatal(err)
+	}
+	// On c1 object 42 now has history; on c2 it must look brand new.
+	probe := []AdmitRequest{{Time: 20, ID: 42, Size: 100, Cost: 100, Free: 1000}}
+	p1, err := c1.Admit(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c2.Admit(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute the expected cold prediction locally.
+	tracker := features.NewTracker(0)
+	buf := make([]float64, features.Dim)
+	tracker.Features(traceRequest(probe[0]), probe[0].Free, buf)
+	cold := m.Predict(buf)
+	if p2[0] != cold {
+		t.Errorf("fresh connection prediction %g != cold %g", p2[0], cold)
+	}
+	if p1[0] == p2[0] {
+		t.Log("note: warm and cold predictions coincide on this model (weak but not wrong)")
+	}
+}
+
+func TestAdmitCodecRoundTrip(t *testing.T) {
+	reqs := []AdmitRequest{
+		{Time: 5, ID: 9, Size: 100, Cost: 2.5, Free: 777},
+		{Time: 6, ID: 10, Size: 200, Cost: 3.5, Free: 0},
+	}
+	dec, err := decodeAdmitRequest(encodeAdmitRequest(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if dec[i] != reqs[i] {
+			t.Fatalf("row %d: %+v != %+v", i, dec[i], reqs[i])
+		}
+	}
+	if _, err := decodeAdmitRequest([]byte{2, 9, 0, 0, 0}); err == nil {
+		t.Error("truncated admit frame accepted")
+	}
+}
+
+func traceRequest(ar AdmitRequest) trace.Request {
+	return trace.Request{Time: ar.Time, ID: trace.ObjectID(ar.ID), Size: ar.Size, Cost: ar.Cost}
+}

@@ -1,0 +1,134 @@
+// Package sim provides the trace-driven cache simulation engine: a Policy
+// interface implemented by every caching system in this repository, a
+// byte-accurate cache store helper, and hit-ratio metrics (BHR, OHR,
+// miss cost) with optional warmup exclusion and per-window series.
+package sim
+
+import (
+	"fmt"
+
+	"lfo/internal/trace"
+)
+
+// Policy is a complete caching system: admission plus eviction. Request
+// processes one request against the cache and reports whether it was a
+// hit. Implementations own all internal state and must be deterministic
+// given their construction parameters.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Request serves a request, returning true on a cache hit.
+	Request(r trace.Request) bool
+}
+
+// Metrics accumulates simulation results.
+type Metrics struct {
+	Policy   string
+	Requests int
+	Hits     int
+	ReqBytes int64
+	HitBytes int64
+	MissCost float64
+	// Windows holds per-window metrics when Options.WindowSize > 0.
+	Windows []WindowMetrics
+}
+
+// WindowMetrics is one window of a windowed metrics series.
+type WindowMetrics struct {
+	// Start is the request index where the window begins.
+	Start    int
+	Requests int
+	Hits     int
+	ReqBytes int64
+	HitBytes int64
+}
+
+// BHR returns the byte hit ratio.
+func (m *Metrics) BHR() float64 {
+	if m.ReqBytes == 0 {
+		return 0
+	}
+	return float64(m.HitBytes) / float64(m.ReqBytes)
+}
+
+// OHR returns the object hit ratio.
+func (m *Metrics) OHR() float64 {
+	if m.Requests == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(m.Requests)
+}
+
+// BHR returns the window's byte hit ratio.
+func (w *WindowMetrics) BHR() float64 {
+	if w.ReqBytes == 0 {
+		return 0
+	}
+	return float64(w.HitBytes) / float64(w.ReqBytes)
+}
+
+// OHR returns the window's object hit ratio.
+func (w *WindowMetrics) OHR() float64 {
+	if w.Requests == 0 {
+		return 0
+	}
+	return float64(w.Hits) / float64(w.Requests)
+}
+
+// Options tunes a simulation run.
+type Options struct {
+	// Warmup excludes the first Warmup requests from the metrics (the
+	// policies still see them).
+	Warmup int
+	// WindowSize, when positive, also records metrics per window of
+	// WindowSize requests (warmup requests are never windowed).
+	WindowSize int
+}
+
+// Run replays the trace against the policy and returns metrics.
+func Run(tr *trace.Trace, p Policy, opts Options) *Metrics {
+	m := &Metrics{Policy: p.Name()}
+	var cur *WindowMetrics
+	for i, r := range tr.Requests {
+		hit := p.Request(r)
+		if i < opts.Warmup {
+			continue
+		}
+		m.Requests++
+		m.ReqBytes += r.Size
+		if hit {
+			m.Hits++
+			m.HitBytes += r.Size
+		} else {
+			m.MissCost += r.Cost
+		}
+		if opts.WindowSize > 0 {
+			if cur == nil || cur.Requests >= opts.WindowSize {
+				m.Windows = append(m.Windows, WindowMetrics{Start: i})
+				cur = &m.Windows[len(m.Windows)-1]
+			}
+			cur.Requests++
+			cur.ReqBytes += r.Size
+			if hit {
+				cur.Hits++
+				cur.HitBytes += r.Size
+			}
+		}
+	}
+	return m
+}
+
+// RunAll replays the trace against each policy independently and returns
+// metrics in the same order.
+func RunAll(tr *trace.Trace, ps []Policy, opts Options) []*Metrics {
+	out := make([]*Metrics, len(ps))
+	for i, p := range ps {
+		out[i] = Run(tr, p, opts)
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("%s: BHR=%.4f OHR=%.4f hits=%d/%d", m.Policy, m.BHR(), m.OHR(), m.Hits, m.Requests)
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+
+	"lfo/internal/trace"
+)
+
+// admitAll is a trivial test policy: infinite cache, every repeat is a hit.
+type admitAll struct {
+	seen map[trace.ObjectID]bool
+}
+
+func (a *admitAll) Name() string { return "admit-all" }
+func (a *admitAll) Request(r trace.Request) bool {
+	if a.seen == nil {
+		a.seen = make(map[trace.ObjectID]bool)
+	}
+	hit := a.seen[r.ID]
+	a.seen[r.ID] = true
+	return hit
+}
+
+// neverHit misses everything.
+type neverHit struct{}
+
+func (neverHit) Name() string                 { return "never" }
+func (neverHit) Request(r trace.Request) bool { return false }
+
+func testTrace() *trace.Trace {
+	ids := []trace.ObjectID{1, 2, 1, 3, 2, 1}
+	t := &trace.Trace{}
+	for i, id := range ids {
+		t.Requests = append(t.Requests, trace.Request{Time: int64(i), ID: id, Size: int64(id) * 10, Cost: float64(id) * 10})
+	}
+	return t
+}
+
+func TestRunBasicMetrics(t *testing.T) {
+	m := Run(testTrace(), &admitAll{}, Options{})
+	// Hits: 1@2, 2@4, 1@5 -> 3 hits of sizes 10, 20, 10.
+	if m.Requests != 6 || m.Hits != 3 {
+		t.Errorf("Requests,Hits = %d,%d, want 6,3", m.Requests, m.Hits)
+	}
+	if m.HitBytes != 40 {
+		t.Errorf("HitBytes = %d, want 40", m.HitBytes)
+	}
+	wantReqBytes := int64(10 + 20 + 10 + 30 + 20 + 10)
+	if m.ReqBytes != wantReqBytes {
+		t.Errorf("ReqBytes = %d, want %d", m.ReqBytes, wantReqBytes)
+	}
+	if got := m.BHR(); got != 40.0/float64(wantReqBytes) {
+		t.Errorf("BHR = %g", got)
+	}
+	if got := m.OHR(); got != 0.5 {
+		t.Errorf("OHR = %g, want 0.5", got)
+	}
+	// Misses: 1,2,3 first requests -> cost 10+20+30.
+	if m.MissCost != 60 {
+		t.Errorf("MissCost = %g, want 60", m.MissCost)
+	}
+}
+
+func TestRunWarmupExcluded(t *testing.T) {
+	m := Run(testTrace(), &admitAll{}, Options{Warmup: 2})
+	if m.Requests != 4 {
+		t.Errorf("Requests = %d, want 4", m.Requests)
+	}
+	// Hits after warmup: requests 2,4,5 -> all three hits counted.
+	if m.Hits != 3 {
+		t.Errorf("Hits = %d, want 3", m.Hits)
+	}
+}
+
+func TestRunWindows(t *testing.T) {
+	m := Run(testTrace(), &admitAll{}, Options{WindowSize: 2})
+	if len(m.Windows) != 3 {
+		t.Fatalf("windows = %d, want 3", len(m.Windows))
+	}
+	if m.Windows[0].Hits != 0 || m.Windows[1].Hits != 1 || m.Windows[2].Hits != 2 {
+		t.Errorf("window hits = %d,%d,%d, want 0,1,2", m.Windows[0].Hits, m.Windows[1].Hits, m.Windows[2].Hits)
+	}
+	total := 0
+	for _, w := range m.Windows {
+		total += w.Requests
+	}
+	if total != m.Requests {
+		t.Errorf("window requests sum %d != %d", total, m.Requests)
+	}
+	if m.Windows[1].OHR() != 0.5 {
+		t.Errorf("window 1 OHR = %g, want 0.5", m.Windows[1].OHR())
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	ms := RunAll(testTrace(), []Policy{&admitAll{}, neverHit{}}, Options{})
+	if len(ms) != 2 {
+		t.Fatalf("len = %d", len(ms))
+	}
+	if ms[0].Policy != "admit-all" || ms[1].Policy != "never" {
+		t.Errorf("policies = %s,%s", ms[0].Policy, ms[1].Policy)
+	}
+	if ms[1].Hits != 0 {
+		t.Errorf("never-hit policy scored %d hits", ms[1].Hits)
+	}
+	if ms[1].MissCost != 100 {
+		t.Errorf("never MissCost = %g, want 100", ms[1].MissCost)
+	}
+}
+
+func TestMetricsZeroSafe(t *testing.T) {
+	m := &Metrics{}
+	if m.BHR() != 0 || m.OHR() != 0 {
+		t.Error("zero metrics not zero")
+	}
+	w := &WindowMetrics{}
+	if w.BHR() != 0 || w.OHR() != 0 {
+		t.Error("zero window metrics not zero")
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore[int](100)
+	if s.Capacity() != 100 || s.Used() != 0 || s.Free() != 100 {
+		t.Fatal("fresh store wrong")
+	}
+	e := s.Add(1, 30)
+	e.Payload = 7
+	if s.Used() != 30 || s.Free() != 70 || s.Len() != 1 {
+		t.Errorf("after add: used=%d free=%d len=%d", s.Used(), s.Free(), s.Len())
+	}
+	if !s.Has(1) || s.Has(2) {
+		t.Error("Has wrong")
+	}
+	if got := s.Get(1); got == nil || got.Payload != 7 || got.Size != 30 {
+		t.Errorf("Get = %+v", got)
+	}
+	if !s.Fits(70) || s.Fits(71) {
+		t.Error("Fits wrong")
+	}
+	s.Remove(1)
+	if s.Used() != 0 || s.Len() != 0 || s.Has(1) {
+		t.Error("after remove: store not empty")
+	}
+}
+
+func TestStoreRange(t *testing.T) {
+	s := NewStore[struct{}](100)
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(3, 30)
+	var sum int64
+	s.Range(func(e *StoreEntry[struct{}]) bool {
+		sum += e.Size
+		return true
+	})
+	if sum != 60 {
+		t.Errorf("Range sum = %d, want 60", sum)
+	}
+	// Early stop.
+	n := 0
+	s.Range(func(e *StoreEntry[struct{}]) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("Range early-stop visited %d", n)
+	}
+}
+
+func TestStorePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"zero capacity", func() { NewStore[int](0) }},
+		{"double add", func() {
+			s := NewStore[int](100)
+			s.Add(1, 10)
+			s.Add(1, 10)
+		}},
+		{"oversized add", func() {
+			s := NewStore[int](100)
+			s.Add(1, 101)
+		}},
+		{"unknown remove", func() {
+			s := NewStore[int](100)
+			s.Remove(9)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			tc.f()
+		})
+	}
+}

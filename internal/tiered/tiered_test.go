@@ -1,0 +1,217 @@
+package tiered
+
+import (
+	"testing"
+
+	"lfo/internal/core"
+	"lfo/internal/gen"
+	"lfo/internal/opt"
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+func threeTiers() []Tier {
+	return []Tier{
+		{Name: "ram", Capacity: 1 << 20, ReadCost: 1},
+		{Name: "ssd", Capacity: 4 << 20, ReadCost: 10},
+		{Name: "hdd", Capacity: 16 << 20, ReadCost: 100},
+	}
+}
+
+func req(t int64, id trace.ObjectID, size int64) trace.Request {
+	return trace.Request{Time: t, ID: id, Size: size, Cost: float64(size)}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, nil); err == nil {
+		t.Error("no tiers accepted")
+	}
+	if _, err := New([]Tier{{Name: "x", Capacity: 0}}, nil, nil); err == nil {
+		t.Error("zero-capacity tier accepted")
+	}
+}
+
+func TestHitInAnyTierCounts(t *testing.T) {
+	c, err := New(threeTiers(), AdmitAll{}, PlaceBySize(64<<10, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small object -> ram; big object -> ssd; huge -> hdd.
+	small := req(0, 1, 1<<10)
+	big := req(1, 2, 512<<10)
+	huge := req(2, 3, 8<<20)
+	for _, r := range []trace.Request{small, big, huge} {
+		if c.Request(r) {
+			t.Fatal("first request hit")
+		}
+	}
+	for i, r := range []trace.Request{small, big, huge} {
+		if !c.Request(r) {
+			t.Fatalf("repeat request %d missed", i)
+		}
+	}
+	s := c.Stats()
+	// small hits ram; big was placed in ssd but its hit promotes it; the
+	// first repeat hit is counted in the tier it was found in.
+	if s.Hits[0] < 1 {
+		t.Errorf("ram hits = %d, want >= 1", s.Hits[0])
+	}
+	if s.Hits[1] != 1 || s.Hits[2] != 1 {
+		t.Errorf("ssd,hdd hits = %d,%d, want 1,1", s.Hits[1], s.Hits[2])
+	}
+	if s.ReadCost != 1+10+100 {
+		t.Errorf("ReadCost = %g, want 111", s.ReadCost)
+	}
+}
+
+func TestPromotionMovesUp(t *testing.T) {
+	c, err := New(threeTiers(), AdmitAll{}, func(trace.Request, float64) int { return 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := req(0, 1, 1<<10)
+	c.Request(r) // placed in hdd
+	c.Request(r) // hit in hdd, promoted to ssd
+	c.Request(r) // hit in ssd, promoted to ram
+	if !c.Request(r) {
+		t.Fatal("missed after promotions")
+	}
+	s := c.Stats()
+	if s.Hits[2] != 1 || s.Hits[1] != 1 || s.Hits[0] != 1 {
+		t.Errorf("hit ladder = %v, want one hit per tier", s.Hits)
+	}
+}
+
+func TestDemotionOnEviction(t *testing.T) {
+	tiers := []Tier{
+		{Name: "ram", Capacity: 2, ReadCost: 1},
+		{Name: "ssd", Capacity: 10, ReadCost: 10},
+	}
+	c, err := New(tiers, AdmitAll{}, nil) // everything placed in ram
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Request(req(0, 1, 1))
+	c.Request(req(1, 2, 1))
+	c.Request(req(2, 3, 1)) // evicts 1 from ram -> demoted to ssd
+	if c.Stats().Demotions != 1 {
+		t.Fatalf("demotions = %d, want 1", c.Stats().Demotions)
+	}
+	if !c.Request(req(3, 1, 1)) {
+		t.Error("demoted object lost instead of hitting in ssd")
+	}
+	if c.Stats().Hits[1] != 1 {
+		t.Errorf("ssd hits = %d, want 1", c.Stats().Hits[1])
+	}
+}
+
+func TestBottomTierEvictsToOrigin(t *testing.T) {
+	tiers := []Tier{{Name: "ram", Capacity: 2, ReadCost: 1}}
+	c, err := New(tiers, AdmitAll{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Request(req(0, 1, 1))
+	c.Request(req(1, 2, 1))
+	c.Request(req(2, 3, 1)) // evicts 1 entirely
+	if c.Request(req(3, 1, 1)) {
+		t.Error("evicted object still hit")
+	}
+}
+
+func TestSizeThresholdAdmitter(t *testing.T) {
+	c, err := New(threeTiers(), SizeThreshold{MaxSize: 1 << 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Request(req(0, 1, 2<<10)) // rejected
+	if c.Request(req(1, 1, 2<<10)) {
+		t.Error("rejected object hit")
+	}
+	c.Request(req(2, 2, 512)) // admitted
+	if !c.Request(req(3, 2, 512)) {
+		t.Error("admitted object missed")
+	}
+}
+
+func TestOversizedObjectSkipsTiers(t *testing.T) {
+	c, err := New(threeTiers(), AdmitAll{}, nil) // placer -> tier 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8MB object cannot fit ram (1MB) or ssd (4MB); lands in hdd.
+	c.Request(req(0, 1, 8<<20))
+	if !c.Request(req(1, 1, 8<<20)) {
+		t.Fatal("oversized-for-ram object not cached in hdd")
+	}
+	if c.Stats().Hits[2] != 1 {
+		t.Errorf("hdd hits = %v", c.Stats().Hits)
+	}
+	// Larger than every tier: never cached.
+	c.Request(req(2, 2, 64<<20))
+	if c.Request(req(3, 2, 64<<20)) {
+		t.Error("object larger than all tiers hit")
+	}
+}
+
+func TestPlaceByLikelihood(t *testing.T) {
+	p := PlaceByLikelihood(0.8, 0.4)
+	r := req(0, 1, 1)
+	if p(r, 0.9) != 0 || p(r, 0.5) != 1 || p(r, 0.1) != 2 {
+		t.Error("likelihood placement wrong")
+	}
+}
+
+// TestModelAdmitterEndToEnd trains an LFO model and uses it as the
+// level-one decision of a tiered cache (§5's hierarchical model),
+// checking it beats admit-all on BHR under pressure.
+func TestModelAdmitterEndToEnd(t *testing.T) {
+	tr, err := gen.Generate(gen.CDNMix(30000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = tr.WithCosts(trace.ObjectiveBHR)
+	train := tr.Slice(0, 15000)
+	eval := tr.Slice(15000, 30000)
+
+	tiers := []Tier{
+		{Name: "ram", Capacity: 2 << 20, ReadCost: 1},
+		{Name: "ssd", Capacity: 6 << 20, ReadCost: 10},
+		{Name: "hdd", Capacity: 8 << 20, ReadCost: 100},
+	}
+	var total int64
+	for _, tt := range tiers {
+		total += tt.Capacity
+	}
+
+	model, _, err := core.TrainOnWindow(train, core.Config{
+		CacheSize:  total, // aggregate cache space, per §5
+		WindowSize: train.Len(),
+		OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	learned, err := New(tiers, NewModelAdmitter(model, 0.5), PlaceByLikelihood(0.85, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := New(tiers, AdmitAll{}, PlaceBySize(64<<10, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lm := sim.Run(eval, learned, sim.Options{})
+	nm := sim.Run(eval, naive, sim.Options{})
+	if lm.BHR() <= nm.BHR() {
+		t.Errorf("learned admission BHR %.4f <= admit-all %.4f", lm.BHR(), nm.BHR())
+	}
+	if learned.Stats().Hits[0] == 0 {
+		t.Error("no RAM hits with likelihood placement")
+	}
+}
+
+func TestTieredIsPolicy(t *testing.T) {
+	var _ sim.Policy = &TieredCache{}
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Read parses a text trace from r. Each non-empty line holds
+// "<time> <id> <size> [<cost>]"; lines starting with '#' are comments.
+// When the cost column is absent, Cost is set to the object size (the BHR
+// convention, §2.1).
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	t := &Trace{}
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("trace: line %d: want at least 3 fields, got %d", lineno, len(fields))
+		}
+		tm, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time: %v", lineno, err)
+		}
+		id, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad id: %v", lineno, err)
+		}
+		size, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad size: %v", lineno, err)
+		}
+		cost := float64(size)
+		if len(fields) >= 4 {
+			cost, err = strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad cost: %v", lineno, err)
+			}
+		}
+		t.Requests = append(t.Requests, Request{Time: tm, ID: ObjectID(id), Size: size, Cost: cost})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return t, nil
+}
+
+// Write writes the trace in the text format understood by Read, including
+// the cost column.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t.Requests {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %g\n", r.Time, uint64(r.ID), r.Size, r.Cost); err != nil {
+			return fmt.Errorf("trace: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile reads a text trace from path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteFile writes a text trace to path, creating or truncating it.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// binaryMagic identifies the binary trace format ("LFOT" + version 1).
+var binaryMagic = [4]byte{'L', 'F', 'O', '1'}
+
+// WriteBinary writes the trace in a compact little-endian binary format:
+// a 4-byte magic, a uint64 request count, then per request Time (int64),
+// ID (uint64), Size (int64), Cost (float64).
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [32]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(len(t.Requests)))
+	if _, err := bw.Write(buf[:8]); err != nil {
+		return err
+	}
+	for _, r := range t.Requests {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(r.Time))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(r.ID))
+		binary.LittleEndian.PutUint64(buf[16:24], uint64(r.Size))
+		binary.LittleEndian.PutUint64(buf[24:32], uint64FromFloat(r.Cost))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("trace: bad binary magic %q", magic)
+	}
+	var buf [32]byte
+	if _, err := io.ReadFull(br, buf[:8]); err != nil {
+		return nil, fmt.Errorf("trace: binary count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(buf[:8])
+	const maxRequests = 1 << 34
+	if n > maxRequests {
+		return nil, fmt.Errorf("trace: binary count %d exceeds limit", n)
+	}
+	t := &Trace{Requests: make([]Request, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: binary request %d: %w", i, err)
+		}
+		t.Requests = append(t.Requests, Request{
+			Time: int64(binary.LittleEndian.Uint64(buf[0:8])),
+			ID:   ObjectID(binary.LittleEndian.Uint64(buf[8:16])),
+			Size: int64(binary.LittleEndian.Uint64(buf[16:24])),
+			Cost: floatFromUint64(binary.LittleEndian.Uint64(buf[24:32])),
+		})
+	}
+	return t, nil
+}
+
+func uint64FromFloat(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromUint64(u uint64) float64 { return math.Float64frombits(u) }

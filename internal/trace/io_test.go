@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := "# comment\n1 100 32768\n2 101 500 2.5\n\n3 100 32768\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	want := []Request{
+		{Time: 1, ID: 100, Size: 32768, Cost: 32768},
+		{Time: 2, ID: 101, Size: 500, Cost: 2.5},
+		{Time: 3, ID: 100, Size: 32768, Cost: 32768},
+	}
+	if !reflect.DeepEqual(tr.Requests, want) {
+		t.Errorf("Read = %+v, want %+v", tr.Requests, want)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	tests := []struct{ name, in string }{
+		{"too few fields", "1 2\n"},
+		{"bad time", "x 2 3\n"},
+		{"bad id", "1 x 3\n"},
+		{"bad size", "1 2 x\n"},
+		{"bad cost", "1 2 3 x\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("Read(%q) = nil error, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := paperTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got.Requests, tr.Requests) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got.Requests, tr.Requests)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := paperTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(got.Requests, tr.Requests) {
+		t.Errorf("binary round trip mismatch:\n got %+v\nwant %+v", got.Requests, tr.Requests)
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOPE00000000"))); err == nil {
+		t.Error("ReadBinary accepted bad magic")
+	}
+}
+
+func TestBinaryRejectsTruncated(t *testing.T) {
+	tr := paperTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	b := buf.Bytes()
+	for _, cut := range []int{0, 3, 11, len(b) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(b[:cut])); err == nil {
+			t.Errorf("ReadBinary accepted trace truncated to %d bytes", cut)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	tr := paperTrace()
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got.Requests, tr.Requests) {
+		t.Error("file round trip mismatch")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("ReadFile(missing) = nil error")
+	}
+}
+
+// TestBinaryRoundTripProperty round-trips random traces through the binary
+// codec.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{}
+		tm := int64(0)
+		for i := 0; i < int(n); i++ {
+			tm += rng.Int63n(10)
+			tr.Requests = append(tr.Requests, Request{
+				Time: tm,
+				ID:   ObjectID(rng.Uint64()),
+				Size: 1 + rng.Int63n(1<<30),
+				Cost: rng.Float64() * 1e6,
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Requests) != len(tr.Requests) {
+			return false
+		}
+		return reflect.DeepEqual(got.Requests, tr.Requests) || (len(tr.Requests) == 0 && len(got.Requests) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

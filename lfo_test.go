@@ -1,0 +1,249 @@
+package lfo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lfo/internal/features"
+)
+
+// The façade tests exercise the public API end to end, the way a
+// downstream user would.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	tr, err := GenerateCDNMix(12000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = tr.WithCosts(ObjectiveBHR)
+	cache, err := NewCache(CacheConfig{CacheSize: 8 << 20, WindowSize: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Simulate(tr, cache, SimOptions{Warmup: 4000})
+	if m.Requests != 8000 {
+		t.Errorf("measured requests = %d, want 8000", m.Requests)
+	}
+	if cache.Windows() == 0 {
+		t.Error("cache never retrained")
+	}
+	if m.BHR() <= 0 || m.BHR() >= 1 {
+		t.Errorf("BHR = %g out of range", m.BHR())
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	names := PolicyNames()
+	if len(names) < 10 {
+		t.Fatalf("only %d policies", len(names))
+	}
+	tr, err := GenerateWebMix(5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		p, err := NewPolicy(n, 4<<20, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := Simulate(tr, p, SimOptions{}); m.Requests != 5000 {
+			t.Errorf("%s: requests = %d", n, m.Requests)
+		}
+	}
+	if _, err := NewPolicy("bogus", 1, 1); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestPublicOPTAndModel(t *testing.T) {
+	tr, err := GenerateWebMix(6000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = tr.WithCosts(ObjectiveBHR)
+	res, err := ComputeOPT(tr, OPTConfig{CacheSize: 2 << 20, Algorithm: OPTFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BHR() <= 0 {
+		t.Error("OPT BHR zero")
+	}
+	model, err := TrainWindowModel(tr, CacheConfig{CacheSize: 2 << 20, WindowSize: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumTrees() != model.NumTrees() {
+		t.Error("model round trip lost trees")
+	}
+}
+
+func TestPublicTraceIO(t *testing.T) {
+	tr, err := GenerateWebMix(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Errorf("round trip %d != %d requests", got.Len(), tr.Len())
+	}
+}
+
+func TestPublicPredictionService(t *testing.T) {
+	tr, err := GenerateWebMix(6000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = tr.WithCosts(ObjectiveBHR)
+	model, err := TrainWindowModel(tr, CacheConfig{CacheSize: 2 << 20, WindowSize: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewPredictionServer(model, 2)
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialPrediction(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	row := make([]float64, features.Dim)
+	row[features.FeatSize] = 1024
+	probs, err := c.Predict(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 1 || probs[0] < 0 || probs[0] > 1 {
+		t.Errorf("probs = %v", probs)
+	}
+}
+
+func TestPublicMRC(t *testing.T) {
+	tr, err := GenerateWebMix(20000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := ComputeMRC(tr)
+	sizes := LogCacheSizes(1<<20, 64<<20, 5)
+	if len(sizes) != 5 {
+		t.Fatalf("sizes = %d", len(sizes))
+	}
+	prev := -1.0
+	for _, s := range sizes {
+		b := curve.BHR(s)
+		if b < prev {
+			t.Fatalf("curve not monotone at %d", s)
+		}
+		prev = b
+	}
+	// The curve must agree with an actual LRU simulation.
+	size := sizes[3]
+	p, err := NewPolicy("lru", size, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Simulate(tr, p, SimOptions{})
+	if got := curve.BHR(size); got != m.BHR() {
+		t.Errorf("curve BHR %.6f != simulated %.6f", got, m.BHR())
+	}
+	optPts, err := ComputeOPTCurve(tr, []int64{size}, OPTConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optPts[0].BHR < m.BHR() {
+		t.Errorf("OPT %.4f below LRU %.4f", optPts[0].BHR, m.BHR())
+	}
+}
+
+func TestPublicTieredCache(t *testing.T) {
+	tr, err := GenerateCDNMix(20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = tr.WithCosts(ObjectiveBHR)
+	model, err := TrainWindowModel(tr.Slice(0, 10000), CacheConfig{CacheSize: 12 << 20, WindowSize: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers := []Tier{
+		{Name: "ram", Capacity: 2 << 20, ReadCost: 1},
+		{Name: "ssd", Capacity: 4 << 20, ReadCost: 10},
+		{Name: "hdd", Capacity: 6 << 20, ReadCost: 100},
+	}
+	learned, err := NewTieredCache(tiers, NewModelAdmitter(model, 0.5), PlaceByLikelihood(0.85, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewTieredCache(tiers, nil, PlaceBySize(64<<10, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := tr.Slice(10000, 20000)
+	lm := Simulate(eval, learned, SimOptions{})
+	nm := Simulate(eval, naive, SimOptions{})
+	if lm.BHR() <= nm.BHR() {
+		t.Errorf("learned tiered BHR %.4f <= naive %.4f", lm.BHR(), nm.BHR())
+	}
+	st := learned.Stats()
+	if st.Hits[0]+st.Hits[1]+st.Hits[2] != lm.Hits {
+		t.Errorf("tier hits %v don't sum to %d", st.Hits, lm.Hits)
+	}
+}
+
+func TestPublicCompactProtocol(t *testing.T) {
+	tr, err := GenerateWebMix(6000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = tr.WithCosts(ObjectiveBHR)
+	model, err := TrainWindowModel(tr, CacheConfig{CacheSize: 2 << 20, WindowSize: tr.Len()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewPredictionServer(model, 0)
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialPrediction(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	probs, err := c.Admit([]AdmitRequest{
+		{Time: 1, ID: 9, Size: 1024, Cost: 1024, Free: 1 << 20},
+		{Time: 2, ID: 9, Size: 1024, Cost: 1024, Free: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 2 {
+		t.Fatalf("probs = %v", probs)
+	}
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %g out of range", p)
+		}
+	}
+}
