@@ -1,0 +1,146 @@
+// Command lfolint runs the repository's custom static analyzer (see
+// internal/lint): determinism rules over the training pipeline,
+// float-safety rules over the numeric kernels, and API-hygiene rules over
+// all library code.
+//
+// Usage:
+//
+//	lfolint [flags] [./... | package-dir ...]
+//
+// With no arguments (or "./...") every package in the enclosing module is
+// checked. Specific package directories restrict reporting to those
+// packages; the whole module is still loaded for type information.
+//
+// Exit status is 1 when any non-suppressed diagnostic is reported, 2 on
+// load/usage errors, 0 otherwise. Findings can be waived in place with
+// "//lfolint:ignore <rule> <reason>".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lfo/internal/lint"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list the lint rules and their policy scopes, then exit")
+	only := flag.String("only", "", "comma-separated rule names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lfolint [flags] [./... | package-dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	policy := lint.DefaultPolicy()
+	rules := lint.AllRules()
+	if *listRules {
+		for _, r := range rules {
+			fmt.Printf("%-16s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []lint.Rule
+		for _, r := range rules {
+			if keep[r.Name] {
+				filtered = append(filtered, r)
+				delete(keep, r.Name)
+			}
+		}
+		for name := range keep {
+			fatalf("unknown rule %q (see lfolint -rules)", name)
+		}
+		rules = filtered
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if dirs := explicitDirs(flag.Args()); dirs != nil {
+		pkgs = filterByDir(pkgs, dirs)
+		if len(pkgs) == 0 {
+			fatalf("no packages match %v", flag.Args())
+		}
+	}
+
+	diags := lint.Run(pkgs, rules, policy)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lfolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "lfolint: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// explicitDirs returns the argument list as directories, or nil when the
+// whole module is requested ("./...", "all", or no arguments).
+func explicitDirs(args []string) []string {
+	var dirs []string
+	for _, a := range args {
+		if a == "./..." || a == "..." || a == "all" {
+			return nil
+		}
+		dirs = append(dirs, strings.TrimSuffix(a, "/..."))
+	}
+	return dirs
+}
+
+func filterByDir(pkgs []*lint.Package, dirs []string) []*lint.Package {
+	want := make(map[string]bool)
+	for _, d := range dirs {
+		abs, err := filepath.Abs(d)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		want[abs] = true
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		if want[p.Dir] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

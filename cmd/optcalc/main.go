@@ -103,6 +103,7 @@ func main() {
 			if admit {
 				v = 1
 			}
+			//lfolint:ignore unchecked-error bufio errors are sticky and surface at the checked Flush below
 			fmt.Fprintf(w, "%d %d %d\n", i, uint64(tr.Requests[i].ID), v)
 		}
 		if err := w.Flush(); err != nil {

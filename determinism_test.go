@@ -1,0 +1,81 @@
+package lfo
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// runSeededPipeline executes the full window pipeline — synthetic trace
+// generation, OPT labeling, online feature tracking, GBDT training, and
+// simulation — from a fixed seed and returns every stage's result in
+// serialized form.
+func runSeededPipeline(t *testing.T) (traceBytes, optBytes, modelBytes, metricBytes []byte) {
+	t.Helper()
+
+	tr, err := GenerateCDNMix(8000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = tr.WithCosts(ObjectiveBHR)
+	var traceBuf bytes.Buffer
+	if err := WriteTrace(&traceBuf, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ComputeOPT(tr, OPTConfig{CacheSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := make([]byte, len(res.Admit))
+	for i, a := range res.Admit {
+		if a {
+			opt[i] = 1
+		}
+	}
+
+	cache, err := NewCache(CacheConfig{CacheSize: 8 << 20, WindowSize: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Simulate(tr, cache, SimOptions{Warmup: 2000})
+	if cache.Model() == nil {
+		t.Fatal("pipeline never trained a model")
+	}
+	var modelBuf bytes.Buffer
+	if err := cache.Model().Save(&modelBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := make([]byte, 0, 3*8)
+	metrics = binary.LittleEndian.AppendUint64(metrics, math.Float64bits(m.BHR()))
+	metrics = binary.LittleEndian.AppendUint64(metrics, math.Float64bits(m.OHR()))
+	metrics = binary.LittleEndian.AppendUint64(metrics, uint64(m.Requests))
+
+	return traceBuf.Bytes(), opt, modelBuf.Bytes(), metrics
+}
+
+// TestPipelineDeterminism runs the complete gen → OPT → features → train →
+// simulate pipeline twice with the same seed and requires byte-identical
+// results at every stage — the reproducibility property lfolint's
+// determinism rules exist to protect. A diff in traceBytes points at gen,
+// in optBytes at opt/mcf, in modelBytes at features/gbdt, and in
+// metricBytes at core/sim.
+func TestPipelineDeterminism(t *testing.T) {
+	tr1, opt1, model1, met1 := runSeededPipeline(t)
+	tr2, opt2, model2, met2 := runSeededPipeline(t)
+
+	if !bytes.Equal(tr1, tr2) {
+		t.Error("generated traces differ between identically seeded runs")
+	}
+	if !bytes.Equal(opt1, opt2) {
+		t.Error("OPT decisions differ between identically seeded runs")
+	}
+	if !bytes.Equal(model1, model2) {
+		t.Error("serialized models differ between identically seeded runs")
+	}
+	if !bytes.Equal(met1, met2) {
+		t.Error("simulation metrics differ between identically seeded runs")
+	}
+}

@@ -41,6 +41,7 @@ func AblationRankFraction(cfg Config, fractions []float64) ([]RankFractionPoint,
 	var exact *opt.Result
 	var out []RankFractionPoint
 	for _, f := range fractions {
+		//lfolint:ignore time-now wall-clock OPT runtime is this experiment's measured output
 		start := time.Now()
 		res, err := opt.Compute(tr, opt.Config{
 			CacheSize:    cfg.CacheSize,
@@ -323,6 +324,7 @@ func AblationIterations(cfg Config, iters []int) ([]IterationsResult, error) {
 	for _, it := range iters {
 		p := lcfg.GBDT
 		p.NumIterations = it
+		//lfolint:ignore time-now wall-clock training time is this experiment's measured output
 		start := time.Now()
 		model, err := gbdt.Train(ds, p)
 		if err != nil {

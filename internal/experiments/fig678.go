@@ -138,6 +138,7 @@ func Fig7(cfg Config, threads []int) ([]ThroughputPoint, error) {
 		model.PredictBatch(rows, out, th)
 		const minDuration = 200 * time.Millisecond
 		reps, elapsed := 0, time.Duration(0)
+		//lfolint:ignore time-now throughput benchmarking measures wall-clock by design
 		start := time.Now()
 		for elapsed < minDuration {
 			model.PredictBatch(rows, out, th)

@@ -32,6 +32,7 @@ func (d *Dataset) Append(row []float64, label float64) {
 	if len(row) != d.dim {
 		panic(fmt.Sprintf("gbdt: row dim %d != dataset dim %d", len(row), d.dim))
 	}
+	//lfolint:ignore float-equal labels are exact 0/1 sentinels assigned from constants, never computed
 	if label != 0 && label != 1 {
 		panic(fmt.Sprintf("gbdt: label must be 0 or 1, got %g", label))
 	}
@@ -85,6 +86,7 @@ func quantileEdges(vals []float64, maxBins int) []float64 {
 	// Distinct values.
 	distinct := vals[:0:0]
 	for i, v := range vals {
+		//lfolint:ignore float-equal dedup of sorted values is exact by design: identical bits share a bin
 		if i == 0 || v != vals[i-1] {
 			distinct = append(distinct, v)
 		}
@@ -100,6 +102,7 @@ func quantileEdges(vals []float64, maxBins int) []float64 {
 		for b := 1; b <= maxBins; b++ {
 			idx := b*len(vals)/maxBins - 1
 			v := vals[idx]
+			//lfolint:ignore float-equal cut-point dedup is exact by design: only bit-identical edges collapse
 			if v != prev {
 				edges = append(edges, v)
 				prev = v

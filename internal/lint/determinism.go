@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// callee resolves a call expression to the package-level function or
+// method it invokes, or nil.
+func callee(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeIs reports whether call invokes a package-level function of pkgPath
+// named one of names (any name if names is empty).
+func calleeIs(p *Package, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := callee(p, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ruleTimeNow forbids wall-clock reads in the deterministic core: OPT
+// labels and trained models must be a pure function of the trace and the
+// seed, so timestamps must come from the trace (or an injected clock),
+// never from the host.
+func ruleTimeNow() Rule {
+	return Rule{
+		Name: "time-now",
+		Doc:  "forbid time.Now in the deterministic core; take timestamps from the trace or an injected clock",
+		Run: func(p *Package, report func(pos token.Pos, format string, args ...interface{})) {
+			inspect(p, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if calleeIs(p, call, "time", "Now") {
+					report(call.Pos(), "time.Now breaks run-to-run reproducibility; use trace timestamps or an injected clock")
+				}
+				return true
+			})
+		},
+	}
+}
+
+// randConstructors are the math/rand functions that build an explicitly
+// seeded generator; everything else at package level draws from the
+// process-global source.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// ruleGlobalRand forbids the global math/rand functions (and the
+// deprecated rand.Seed) in the deterministic core: all randomness must
+// flow from an explicitly seeded *rand.Rand.
+func ruleGlobalRand() Rule {
+	return Rule{
+		Name: "global-rand",
+		Doc:  "forbid global math/rand functions in the deterministic core; use an explicitly seeded *rand.Rand",
+		Run: func(p *Package, report func(pos token.Pos, format string, args ...interface{})) {
+			inspect(p, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, path := range []string{"math/rand", "math/rand/v2"} {
+					if calleeIs(p, call, path) {
+						fn := callee(p, call)
+						if randConstructors[fn.Name()] {
+							return true
+						}
+						report(call.Pos(), "global rand.%s draws from the process-wide source; use an explicitly seeded *rand.Rand", fn.Name())
+					}
+				}
+				return true
+			})
+		},
+	}
+}
+
+// ruleMapOrder flags `range` over a map whose body has order-dependent
+// effects: appending to an outer slice, writing output, or accumulating
+// floating-point sums (float addition is not associative, so iteration
+// order changes the result bits). Collecting just the keys is allowed when
+// the enclosing function visibly sorts the collector afterwards — that is
+// the canonical deterministic pattern.
+func ruleMapOrder() Rule {
+	return Rule{
+		Name: "map-order",
+		Doc:  "flag map iteration with order-dependent effects (appends, output, float accumulation)",
+		Run: func(p *Package, report func(pos token.Pos, format string, args ...interface{})) {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					fn, ok := n.(*ast.FuncDecl)
+					if !ok || fn.Body == nil {
+						return true
+					}
+					checkMapRanges(p, fn, report)
+					return true
+				})
+			}
+		},
+	}
+}
+
+func checkMapRanges(p *Package, fn *ast.FuncDecl, report func(pos token.Pos, format string, args ...interface{})) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapBody(p, fn, rs, report)
+		return true
+	})
+}
+
+// loopVars returns the objects bound by the range statement's key/value.
+func loopVars(p *Package, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if obj := p.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// declaredOutside reports whether ident's object is declared outside the
+// given node's extent.
+func declaredOutside(p *Package, id *ast.Ident, n ast.Node) (types.Object, bool) {
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil {
+		return nil, false
+	}
+	return obj, obj.Pos() < n.Pos() || obj.Pos() > n.End()
+}
+
+func checkMapBody(p *Package, fn *ast.FuncDecl, rs *ast.RangeStmt, report func(pos token.Pos, format string, args ...interface{})) {
+	lv := loopVars(p, rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			switch stmt.Tok {
+			case token.ASSIGN, token.DEFINE:
+				// x = append(x, ...) into a slice declared outside the loop.
+				for i, rhs := range stmt.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(p, call) || i >= len(stmt.Lhs) {
+						continue
+					}
+					id, ok := stmt.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj, outside := declaredOutside(p, id, rs)
+					if !outside {
+						continue
+					}
+					if appendsOnlyLoopVars(call, lv, p) && sortedAfter(p, fn, rs, obj) {
+						continue // collect-then-sort: the deterministic idiom
+					}
+					report(stmt.Pos(), "append to %q inside map iteration makes its element order depend on map order; collect keys and sort first", id.Name)
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				// Float accumulation: addition is not associative, so the
+				// accumulated bits depend on visit order.
+				id, ok := stmt.Lhs[0].(*ast.Ident)
+				if !ok {
+					break
+				}
+				if _, outside := declaredOutside(p, id, rs); !outside {
+					break
+				}
+				if isFloat(p.Info.TypeOf(stmt.Lhs[0])) {
+					report(stmt.Pos(), "floating-point accumulation into %q inside map iteration is order-dependent; iterate sorted keys", id.Name)
+				}
+			}
+		case *ast.CallExpr:
+			if writesOutput(p, stmt) {
+				report(stmt.Pos(), "output written inside map iteration appears in map order; iterate sorted keys")
+				return false // one finding per write call
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(p *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendsOnlyLoopVars reports whether every appended value is a bare range
+// variable — i.e. the loop only collects keys/values.
+func appendsOnlyLoopVars(call *ast.CallExpr, lv map[types.Object]bool, p *Package) bool {
+	for _, arg := range call.Args[1:] {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || !lv[p.Info.Uses[id]] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function passes obj to a sort.* or slices.Sort* call.
+func sortedAfter(p *Package, fn *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		if !calleeIs(p, call, "sort") && !calleeIs(p, call, "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// writesOutput reports whether the call is an fmt print/write or an
+// io.Writer-style method — side effects whose order the map dictates.
+func writesOutput(p *Package, call *ast.CallExpr) bool {
+	if fn := callee(p, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		name := fn.Name()
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		_, isMethod := p.Info.Selections[sel]
+		return isMethod
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// ruleFloatEqual flags `==` and `!=` between floating-point operands in
+// the numeric kernels. Rounding makes exact float equality fragile —
+// comparisons should use an epsilon (or restructure to avoid the compare).
+// Two forms are sanctioned:
+//
+//   - comparison against a literal 0 sentinel, which the kernels use for
+//     "field never set" checks on values only ever assigned exact
+//     constants, and
+//   - comparisons inside ordering predicates (sort comparator literals
+//     and Less methods), where *exact* comparison is required: an epsilon
+//     comparator is not transitive and corrupts the sort.
+func ruleFloatEqual() Rule {
+	return Rule{
+		Name: "float-equal",
+		Doc:  "flag ==/!= between floats in numeric kernels (literal-0 sentinels and sort comparators allowed)",
+		Run: func(p *Package, report func(pos token.Pos, format string, args ...interface{})) {
+			exempt := comparatorRanges(p)
+			inspect(p, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(p.Info.TypeOf(be.X)) || !isFloat(p.Info.TypeOf(be.Y)) {
+					return true
+				}
+				if isZeroConst(p, be.X) || isZeroConst(p, be.Y) {
+					return true
+				}
+				for _, r := range exempt {
+					if be.Pos() >= r[0] && be.Pos() <= r[1] {
+						return true
+					}
+				}
+				report(be.OpPos, "exact float comparison (%s) is rounding-sensitive; compare with an epsilon or restructure", be.Op)
+				return true
+			})
+		},
+	}
+}
+
+// comparatorRanges returns the position extents of ordering predicates:
+// function literals passed to sort.*/slices.* and methods named Less.
+// Exact comparison inside them is correct by construction — a comparator
+// must induce a strict weak order, which epsilon comparison breaks.
+func comparatorRanges(p *Package) [][2]token.Pos {
+	var out [][2]token.Pos
+	inspect(p, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !calleeIs(p, n, "sort") && !calleeIs(p, n, "slices") {
+				return true
+			}
+			for _, arg := range n.Args {
+				if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					out = append(out, [2]token.Pos{fl.Pos(), fl.End()})
+				}
+			}
+		case *ast.FuncDecl:
+			if n.Recv != nil && n.Name.Name == "Less" && n.Body != nil {
+				out = append(out, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero —
+// the sanctioned sentinel for "never assigned".
+func isZeroConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}

@@ -1,0 +1,234 @@
+// Package lint implements lfolint, the repository's custom static
+// analyzer. It enforces the invariants the LFO reproduction depends on —
+// determinism of the training pipeline, float-comparison safety in the
+// numeric kernels, and API hygiene in library code — using only the
+// standard library's go/parser, go/ast, go/types, and go/token.
+//
+// Rules are gated by per-package policy tiers (DefaultPolicy): the
+// deterministic core forbids wall clocks and global randomness, the
+// numeric kernels forbid exact float equality, and every package is held
+// to error-handling and lock-copy hygiene. Individual findings can be
+// waived in place with
+//
+//	//lfolint:ignore <rule> <reason>
+//
+// on the offending line or the line above it; the reason is mandatory.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Rule names the rule that produced it (e.g. "time-now").
+	Rule string
+	// Message describes the problem and the expected remedy.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Rule is one lint check, run once per applicable package.
+type Rule struct {
+	// Name identifies the rule in diagnostics and suppression directives.
+	Name string
+	// Doc is a one-line description, shown by lfolint -rules.
+	Doc string
+	// Run inspects the package and reports findings.
+	Run func(p *Package, report func(pos token.Pos, format string, args ...interface{}))
+}
+
+// Scope selects the packages a rule applies to, by module-relative path.
+type Scope struct {
+	// Include lists path prefixes ("internal/gbdt" matches the package
+	// and its subpackages). An empty list matches every package.
+	Include []string
+	// Exclude lists path prefixes carved out of Include.
+	Exclude []string
+}
+
+// Matches reports whether the module-relative package path rel is in scope.
+func (s Scope) Matches(rel string) bool {
+	for _, e := range s.Exclude {
+		if matchPrefix(rel, e) {
+			return false
+		}
+	}
+	if len(s.Include) == 0 {
+		return true
+	}
+	for _, i := range s.Include {
+		if matchPrefix(rel, i) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchPrefix(rel, sel string) bool {
+	return rel == sel || strings.HasPrefix(rel, sel+"/")
+}
+
+// Policy maps rule names to the package scope they run in.
+type Policy map[string]Scope
+
+// DeterministicCore lists the packages whose output must be bit-identical
+// for a given seed: the trace generator, the OPT labeler, the learner, and
+// everything the experiment harness assembles from them.
+var DeterministicCore = []string{
+	"internal/gen",
+	"internal/gbdt",
+	"internal/opt",
+	"internal/mcf",
+	"internal/core",
+	"internal/experiments",
+	"internal/features",
+}
+
+// NumericKernels lists the float-heavy packages where exact equality is a
+// correctness hazard.
+var NumericKernels = []string{
+	"internal/gbdt",
+	"internal/mcf",
+	"internal/mrc",
+	"internal/opt",
+	"internal/analysis",
+}
+
+// DefaultPolicy returns the repository's policy tiers.
+func DefaultPolicy() Policy {
+	mapOrder := append(append([]string(nil), DeterministicCore...), NumericKernels...)
+	return Policy{
+		"time-now":        {Include: DeterministicCore},
+		"global-rand":     {Include: DeterministicCore},
+		"map-order":       {Include: mapOrder},
+		"float-equal":     {Include: NumericKernels},
+		"unchecked-error": {},
+		"fmt-print":       {Include: []string{"internal"}, Exclude: []string{"internal/cliutil"}},
+		"mutex-copy":      {},
+	}
+}
+
+// AllRules returns every rule lfolint knows, in stable order.
+func AllRules() []Rule {
+	return []Rule{
+		ruleTimeNow(),
+		ruleGlobalRand(),
+		ruleMapOrder(),
+		ruleFloatEqual(),
+		ruleUncheckedError(),
+		ruleFmtPrint(),
+		ruleMutexCopy(),
+	}
+}
+
+// Run applies every rule its policy scopes to each package and returns the
+// non-suppressed diagnostics sorted by position.
+func Run(pkgs []*Package, rules []Rule, policy Policy) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup, malformed := suppressions(pkg)
+		diags = append(diags, malformed...)
+		for _, rule := range rules {
+			scope, ok := policy[rule.Name]
+			if !ok {
+				continue // rule not enabled by this policy
+			}
+			if !scope.Matches(pkg.Rel) {
+				continue
+			}
+			rule.Run(pkg, func(pos token.Pos, format string, args ...interface{}) {
+				d := Diagnostic{Pos: pkg.Fset.Position(pos), Rule: rule.Name, Message: fmt.Sprintf(format, args...)}
+				if !sup.covers(d) {
+					diags = append(diags, d)
+				}
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// ignorePrefix introduces a suppression directive comment.
+const ignorePrefix = "//lfolint:ignore"
+
+// suppressed records which (file, line) pairs waive which rules.
+type suppressed map[string]map[int]map[string]bool
+
+func (s suppressed) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	// A directive suppresses findings on its own line and the line below
+	// it, so both trailing and standalone comment placement work.
+	return lines[d.Pos.Line][d.Rule] || lines[d.Pos.Line-1][d.Rule]
+}
+
+// suppressions scans a package's comments for //lfolint:ignore directives.
+// Directives missing a reason are themselves reported: a waiver with no
+// justification is exactly the silent regression the linter exists to
+// prevent.
+func suppressions(pkg *Package) (suppressed, []Diagnostic) {
+	sup := make(suppressed)
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:     pos,
+						Rule:    "suppression",
+						Message: "malformed //lfolint:ignore directive: want \"//lfolint:ignore <rule> <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					sup[pos.Filename] = byLine
+				}
+				rules := byLine[pos.Line]
+				if rules == nil {
+					rules = make(map[string]bool)
+					byLine[pos.Line] = rules
+				}
+				for _, r := range strings.Split(fields[0], ",") {
+					rules[r] = true
+				}
+			}
+		}
+	}
+	return sup, malformed
+}
+
+// inspect walks every file of the package.
+func inspect(p *Package, fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under lint.
+type Package struct {
+	// Path is the import path (e.g. "lfo/internal/gbdt").
+	Path string
+	// Rel is the path relative to the module root ("" for the root
+	// package); policy tiers match against this.
+	Rel string
+	// Dir is the absolute directory holding the package sources.
+	Dir string
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds type information for every expression in Files.
+	Info *types.Info
+}
+
+// Loader type-checks every package of a module using only the standard
+// library: module-internal imports resolve by path mapping under the
+// module root, everything else (stdlib) through go/importer's source
+// importer. Test files are excluded — lint targets shipping code.
+type Loader struct {
+	root string
+	mod  string
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+	busy map[string]bool
+	info *types.Info
+}
+
+// NewLoader returns a loader for the module rooted at root with the given
+// module path (as declared in go.mod).
+func NewLoader(root, modPath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		root: root,
+		mod:  modPath,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs: make(map[string]*Package),
+		busy: make(map[string]bool),
+		info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+}
+
+// ModulePath reads the module declaration from root/go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s/go.mod", root)
+}
+
+// LoadModule discovers and type-checks every package under root (the
+// directory containing go.mod), returning them sorted by import path.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	return NewLoader(root, modPath).LoadAll()
+}
+
+// LoadAll walks the module tree and type-checks every package directory.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, rerr := filepath.Rel(l.root, path)
+			if rerr != nil {
+				return rerr
+			}
+			importPath := l.mod
+			if rel != "." {
+				importPath = l.mod + "/" + filepath.ToSlash(rel)
+			}
+			paths = append(paths, importPath)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walk module: %w", err)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load type-checks one module package by import path, memoized.
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.mod), "/")
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, perr := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, fmt.Errorf("lint: %w", perr)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go source in %s", dir)
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, l.info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	p := &Package{Path: path, Rel: rel, Dir: dir, Files: files, Fset: l.fset, Types: tpkg, Info: l.info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// loaderImporter adapts the Loader for use as a types.Importer: module
+// packages come from the loader itself, everything else from the stdlib
+// source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.mod || strings.HasPrefix(path, l.mod+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

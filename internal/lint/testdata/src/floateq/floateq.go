@@ -1,0 +1,53 @@
+// Fixture for the float-equal rule.
+package floateq
+
+import "sort"
+
+// Eq compares floats exactly — forbidden.
+func Eq(a, b float64) bool {
+	return a == b // want "exact float comparison"
+}
+
+// Neq compares floats exactly — forbidden.
+func Neq(a, b float32) bool {
+	return a != b // want "exact float comparison"
+}
+
+// Sentinel compares against a literal 0 — allowed.
+func Sentinel(x float64) bool {
+	return x == 0
+}
+
+// SentinelFlipped has the literal on the left — allowed.
+func SentinelFlipped(x float64) bool {
+	return 0.0 != x
+}
+
+// Comparator uses exact comparison inside a sort predicate — allowed
+// (epsilon comparators are not transitive).
+func Comparator(xs []float64, idx []int) {
+	sort.Slice(idx, func(a, b int) bool {
+		if xs[idx[a]] != xs[idx[b]] {
+			return xs[idx[a]] > xs[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+}
+
+type byValue struct{ vals []float64 }
+
+func (b byValue) Len() int      { return len(b.vals) }
+func (b byValue) Swap(i, j int) { b.vals[i], b.vals[j] = b.vals[j], b.vals[i] }
+
+// Less methods are ordering predicates — allowed.
+func (b byValue) Less(i, j int) bool {
+	if b.vals[i] != b.vals[j] {
+		return b.vals[i] < b.vals[j]
+	}
+	return i < j
+}
+
+// IntEq compares integers — not this rule's business.
+func IntEq(a, b int) bool {
+	return a == b
+}

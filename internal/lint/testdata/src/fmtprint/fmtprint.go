@@ -1,0 +1,26 @@
+// Fixture for the fmt-print rule.
+package fmtprint
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Report prints to process streams from library code — forbidden.
+func Report(n int) {
+	fmt.Printf("n=%d\n", n)             // want "fmt.Printf writes to process stdout"
+	fmt.Println("done")                 // want "fmt.Println writes to process stdout"
+	fmt.Fprintf(os.Stdout, "n=%d\n", n) // want "fmt.Fprintf to a process std stream"
+	fmt.Fprintln(os.Stderr, "warn")     // want "fmt.Fprintln to a process std stream"
+}
+
+// ToWriter writes through an injected writer — allowed.
+func ToWriter(w io.Writer, n int) {
+	fmt.Fprintf(w, "n=%d\n", n)
+}
+
+// Format produces a value — allowed.
+func Format(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}

@@ -1,0 +1,23 @@
+// Fixture for the //lfolint:ignore suppression mechanism, exercised with
+// the time-now rule.
+package suppress
+
+import "time"
+
+// StandaloneDirective is waived by the comment on the line above.
+func StandaloneDirective() int64 {
+	//lfolint:ignore time-now fixture demonstrates a justified waiver
+	start := time.Now()
+	return start.UnixNano()
+}
+
+// SameLineDirective is waived by the trailing comment.
+func SameLineDirective() int64 {
+	return time.Now().UnixNano() //lfolint:ignore time-now same-line waivers work too
+}
+
+// WrongRule names a different rule, so time-now still fires.
+func WrongRule() int64 {
+	//lfolint:ignore float-equal reason given but for an unrelated rule
+	return time.Now().UnixNano() // want "time.Now breaks run-to-run reproducibility"
+}

@@ -1,0 +1,12 @@
+// Fixture for malformed suppression directives: a waiver without a reason
+// is itself reported and suppresses nothing. Checked explicitly by
+// TestMalformedSuppression rather than via want annotations.
+package suppressbad
+
+import "time"
+
+// MissingReason carries a reasonless directive.
+func MissingReason() int64 {
+	//lfolint:ignore time-now
+	return time.Now().UnixNano()
+}

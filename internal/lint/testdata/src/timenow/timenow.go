@@ -1,0 +1,20 @@
+// Fixture for the time-now rule.
+package timenow
+
+import "time"
+
+// Stamp reads the wall clock — forbidden in the deterministic core.
+func Stamp() int64 {
+	t := time.Now() // want "time.Now breaks run-to-run reproducibility"
+	return t.UnixNano()
+}
+
+// FromTrace builds a time from trace data — allowed.
+func FromTrace(ts int64) time.Time {
+	return time.Unix(0, ts)
+}
+
+// Elapsed uses a passed-in reference point — allowed.
+func Elapsed(start, now time.Time) time.Duration {
+	return now.Sub(start)
+}

@@ -167,7 +167,7 @@ func ComputeLRUSampled(tr *trace.Trace, rate float64, salt uint64) (*Curve, erro
 	if rate <= 0 || rate > 1 {
 		return nil, fmt.Errorf("mrc: sampling rate %g outside (0,1]", rate)
 	}
-	if rate == 1 {
+	if rate >= 1 {
 		return ComputeLRU(tr), nil
 	}
 	threshold := uint64(rate * float64(1<<32))

@@ -249,3 +249,29 @@ func TestSampledCurveRateValidation(t *testing.T) {
 		t.Fatalf("rate 1: %v", err)
 	}
 }
+
+// TestSampledCurveRateOneBypassesSampling pins the rate >= 1 fast path
+// (tightened from an exact float == 1 during the lfolint float-equal
+// sweep): a full-rate "sample" must be the exact curve, point for point
+// and independent of the hash salt.
+func TestSampledCurveRateOneBypassesSampling(t *testing.T) {
+	tr, err := gen.Generate(gen.WebMix(20000, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ComputeLRU(tr)
+	for _, salt := range []uint64{0, 0x9e3779b97f4a7c15} {
+		sampled, err := ComputeLRUSampled(tr, 1, salt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, size := range []int64{1 << 20, 8 << 20, 64 << 20} {
+			if got, want := sampled.OHR(size), exact.OHR(size); got != want {
+				t.Errorf("salt %#x size %d: OHR %v != exact %v", salt, size, got, want)
+			}
+			if got, want := sampled.BHR(size), exact.BHR(size); got != want {
+				t.Errorf("salt %#x size %d: BHR %v != exact %v", salt, size, got, want)
+			}
+		}
+	}
+}

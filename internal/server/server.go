@@ -68,7 +68,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // already shutting down; nothing to report to
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -82,7 +82,7 @@ func (s *Server) acceptLoop() {
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
-		conn.Close()
+		_ = conn.Close() // best-effort teardown of a served connection
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -163,7 +163,7 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close() // force handlers to unblock; their errors are benign here
 	}
 	s.mu.Unlock()
 	var err error

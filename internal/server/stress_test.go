@@ -1,0 +1,110 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStressPredictWithModelSwap hammers the server from many client
+// goroutines while another goroutine continuously swaps the deployed
+// model — the production pattern of LFO's per-window handoff under live
+// traffic. Run under -race (scripts/check.sh does) to catch unsynchronized
+// model or connection state.
+func TestStressPredictWithModelSwap(t *testing.T) {
+	modelA := testModel(t)
+	modelB := testModel(t)
+	s, addr := startServer(t, modelA)
+
+	const (
+		clients  = 8
+		churners = 4
+		requests = 60
+		rowsPer  = 16
+	)
+
+	// Swapper: flips the deployed model as fast as it can until stopped.
+	var stop atomic.Bool
+	var swaps atomic.Int64
+	swapperDone := make(chan struct{})
+	go func() {
+		defer close(swapperDone)
+		for !stop.Load() {
+			s.SetModel(modelB)
+			s.SetModel(modelA)
+			swaps.Add(2)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients+churners)
+
+	// Steady clients: one connection each, a stream of batch predicts.
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			rows := randRows(rowsPer, seed)
+			for i := 0; i < requests; i++ {
+				probs, err := cl.Predict(rows)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(probs) != rowsPer {
+					t.Errorf("got %d probs, want %d", len(probs), rowsPer)
+					return
+				}
+				for _, p := range probs {
+					if p < 0 || p > 1 {
+						t.Errorf("probability %g outside [0,1]", p)
+						return
+					}
+				}
+			}
+		}(int64(c + 1))
+	}
+
+	// Connection churners: dial, fire one request, hang up. Exercises the
+	// accept/teardown paths that share the connection set with Close.
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				cl, err := Dial(addr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				_, perr := cl.Predict(randRows(1, seed))
+				cerr := cl.Close()
+				if perr != nil {
+					errs <- perr
+					return
+				}
+				if cerr != nil {
+					errs <- cerr
+					return
+				}
+			}
+		}(int64(100 + c))
+	}
+
+	wg.Wait()
+	stop.Store(true)
+	<-swapperDone
+	close(errs)
+	for err := range errs {
+		t.Errorf("client error: %v", err)
+	}
+	if swaps.Load() == 0 {
+		t.Error("model swapper never ran")
+	}
+}

@@ -86,7 +86,7 @@ func WriteFile(path string, t *Trace) error {
 		return err
 	}
 	if err := Write(f, t); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# check.sh — the repository's full verification gate (tier 1+).
+#
+# Runs formatting, vet, build, the custom lfolint analyzer, the full test
+# suite, and the race detector over the concurrent packages. Every step
+# must pass; the script exits non-zero on the first failure, so it is
+# directly usable as a CI gate.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '== %s\n' "$*"; }
+
+step "gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+step "go vet ./..."
+go vet ./...
+
+step "go build ./..."
+go build ./...
+
+step "lfolint ./..."
+go run ./cmd/lfolint ./...
+
+step "go test ./..."
+go test ./...
+
+step "go test -race (concurrent packages)"
+go test -race ./internal/server ./internal/tiered ./internal/sim
+
+echo "ALL CHECKS PASSED"
