@@ -243,11 +243,20 @@ func BenchmarkGBDTTrain(b *testing.B) {
 		}
 		ds.Append(buf, label)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := gbdt.Train(ds, gbdt.DefaultParams()); err != nil {
-			b.Fatal(err)
-		}
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=all", 0}} {
+		b.Run(v.name, func(b *testing.B) {
+			p := gbdt.DefaultParams()
+			p.Workers = v.workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gbdt.Train(ds, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -273,13 +282,31 @@ func BenchmarkOPTGreedy(b *testing.B) {
 
 func BenchmarkFeatureTracking(b *testing.B) {
 	tr := benchTrace(b, 50000)
-	tracker := features.NewTracker(1 << 20)
-	buf := make([]float64, features.Dim)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r := tr.Requests[i%tr.Len()]
-		tracker.Features(r, 1<<20, buf)
-		tracker.Update(r)
+	b.Run("stream", func(b *testing.B) {
+		tracker := features.NewTracker(1 << 20)
+		buf := make([]float64, features.Dim)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := tr.Requests[i%tr.Len()]
+			tracker.Features(r, 1<<20, buf)
+			tracker.Update(r)
+		}
+	})
+	// Window-matrix extraction, the sharded retrain-path variant.
+	free := make([]int64, tr.Len())
+	for i := range free {
+		free[i] = 1 << 20
+	}
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"matrix/workers=1", 1}, {"matrix/workers=all", 0}} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				features.NewTracker(0).BuildMatrix(tr.Requests, free, v.workers)
+			}
+		})
 	}
 }
 

@@ -9,9 +9,9 @@ import (
 
 // runSeededPipeline executes the full window pipeline — synthetic trace
 // generation, OPT labeling, online feature tracking, GBDT training, and
-// simulation — from a fixed seed and returns every stage's result in
-// serialized form.
-func runSeededPipeline(t *testing.T) (traceBytes, optBytes, modelBytes, metricBytes []byte) {
+// simulation — from a fixed seed with the given worker count and returns
+// every stage's result in serialized form.
+func runSeededPipeline(t *testing.T, workers int) (traceBytes, optBytes, modelBytes, metricBytes []byte) {
 	t.Helper()
 
 	tr, err := GenerateCDNMix(8000, 7)
@@ -35,7 +35,7 @@ func runSeededPipeline(t *testing.T) (traceBytes, optBytes, modelBytes, metricBy
 		}
 	}
 
-	cache, err := NewCache(CacheConfig{CacheSize: 8 << 20, WindowSize: 3000})
+	cache, err := NewCache(CacheConfig{CacheSize: 8 << 20, WindowSize: 3000, Workers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,8 +63,8 @@ func runSeededPipeline(t *testing.T) (traceBytes, optBytes, modelBytes, metricBy
 // in optBytes at opt/mcf, in modelBytes at features/gbdt, and in
 // metricBytes at core/sim.
 func TestPipelineDeterminism(t *testing.T) {
-	tr1, opt1, model1, met1 := runSeededPipeline(t)
-	tr2, opt2, model2, met2 := runSeededPipeline(t)
+	tr1, opt1, model1, met1 := runSeededPipeline(t, 1)
+	tr2, opt2, model2, met2 := runSeededPipeline(t, 1)
 
 	if !bytes.Equal(tr1, tr2) {
 		t.Error("generated traces differ between identically seeded runs")
@@ -77,5 +77,29 @@ func TestPipelineDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(met1, met2) {
 		t.Error("simulation metrics differ between identically seeded runs")
+	}
+}
+
+// TestPipelineDeterminismAcrossWorkers requires the parallel pipeline to
+// reproduce the sequential run byte-for-byte at every stage, for several
+// worker counts. Workers changes only how the work is scheduled — fixed
+// shard decomposition and in-order reduction keep every float sum, split
+// choice, and feature row identical.
+func TestPipelineDeterminismAcrossWorkers(t *testing.T) {
+	tr1, opt1, model1, met1 := runSeededPipeline(t, 1)
+	for _, workers := range []int{2, 4, 8} {
+		trN, optN, modelN, metN := runSeededPipeline(t, workers)
+		if !bytes.Equal(tr1, trN) {
+			t.Errorf("workers=%d: generated trace differs from sequential run", workers)
+		}
+		if !bytes.Equal(opt1, optN) {
+			t.Errorf("workers=%d: OPT decisions differ from sequential run", workers)
+		}
+		if !bytes.Equal(model1, modelN) {
+			t.Errorf("workers=%d: serialized model differs from sequential run", workers)
+		}
+		if !bytes.Equal(met1, metN) {
+			t.Errorf("workers=%d: simulation metrics differ from sequential run", workers)
+		}
 	}
 }

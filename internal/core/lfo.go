@@ -20,6 +20,7 @@ import (
 	"lfo/internal/features"
 	"lfo/internal/gbdt"
 	"lfo/internal/opt"
+	"lfo/internal/par"
 	"lfo/internal/pq"
 	"lfo/internal/sim"
 	"lfo/internal/trace"
@@ -43,6 +44,14 @@ type Config struct {
 	// MaxTrackedObjects bounds the feature tracker's sparse state
 	// (0 = unbounded).
 	MaxTrackedObjects int
+	// Workers caps the goroutines the retrain/score pipeline may use:
+	// GBDT training parallelism, batched prediction, sharded window
+	// feature extraction, and the OPT-labeling/rescore-extraction overlap
+	// at window handoff. 0 means all available cores, 1 reproduces the
+	// fully sequential pipeline. Every stage reduces in a fixed order, so
+	// results are byte-identical for any value (unlike AsyncTraining,
+	// which trades reproducibility for latency).
+	Workers int
 	// DisableEvictOnHit keeps hit objects resident even when their
 	// re-evaluated likelihood falls below Cutoff. By default LFO evicts
 	// them immediately (the paper's "a cache hit [may lead] to the
@@ -87,6 +96,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GBDT.NumIterations == 0 {
 		c.GBDT = gbdt.DefaultParams()
+	}
+	if c.GBDT.Workers == 0 {
+		c.GBDT.Workers = c.Workers
 	}
 	c.OPT.CacheSize = c.CacheSize
 	return c
@@ -229,60 +241,96 @@ func (p *LFO) admit(r trace.Request, rank float64) {
 	p.rank.Push(r.ID, rank)
 }
 
-// retrain computes OPT over the recorded window, fits a fresh model, and
-// re-ranks the resident objects under it (Figure 2's window handoff).
+// retrain runs the window handoff (Figure 2) as an explicit two-stage
+// pipeline. Stage 1: OPT labeling of the completed window overlaps with
+// extraction of the rescore matrix — the feature rows the incoming model
+// will score for every resident object, i.e. the next window's first
+// feature-extraction work. Stage 2: GBDT training (feature-parallel
+// inside gbdt.Train), then one batched prediction over the prebuilt
+// matrix re-ranks the residents. Every stage is a pure function of the
+// boundary state and joins at a fixed point, so results are byte-identical
+// to the sequential pipeline for any Workers value.
 func (p *LFO) retrain() {
 	win := &trace.Trace{Requests: p.winReqs}
-	res, err := opt.Compute(win, p.cfg.OPT)
-	if err != nil {
+	var res *opt.Result
+	var optErr error
+	var ids []trace.ObjectID
+	var rescoreRows []float64
+	if par.Resolve(p.cfg.Workers) > 1 {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			res, optErr = opt.Compute(win, p.cfg.OPT)
+		}()
+		ids, rescoreRows = p.gatherResidents()
+		<-done
+	} else {
+		res, optErr = opt.Compute(win, p.cfg.OPT)
+		ids, rescoreRows = p.gatherResidents()
+	}
+	if optErr != nil {
 		// OPT computation cannot fail for a valid window and positive
 		// cache size; fail loudly rather than serve a stale model
 		// silently.
-		panic(fmt.Sprintf("core: OPT computation failed: %v", err))
+		panic(fmt.Sprintf("core: OPT computation failed: %v", optErr))
 	}
 
-	ds := gbdt.NewDataset(features.Dim)
-	for i := range p.winReqs {
-		label := 0.0
+	// The recorded window matrix becomes the training set without a copy;
+	// it is released (re-sliced to zero length) only after training and
+	// the stats pass are done with it.
+	labels := make([]float64, len(p.winReqs))
+	for i := range labels {
 		if res.Admit[i] {
-			label = 1
+			labels[i] = 1
 		}
-		ds.Append(p.winFeats[i*features.Dim:(i+1)*features.Dim], label)
 	}
+	ds := gbdt.DatasetFromMatrix(features.Dim, p.winFeats, labels)
 	model, err := gbdt.Train(ds, p.cfg.GBDT)
 	if err != nil {
 		panic(fmt.Sprintf("core: training failed: %v", err))
 	}
 
 	if p.cfg.OnRetrain != nil {
-		correct, pos := 0, 0
-		for i := 0; i < ds.Len(); i++ {
-			pred := model.Predict(ds.Row(i)) >= p.cfg.Cutoff
-			if pred == (ds.Label(i) == 1) {
-				correct++
-			}
-			if ds.Label(i) == 1 {
-				pos++
-			}
-		}
-		p.cfg.OnRetrain(RetrainStats{
-			Window:        p.windows,
-			Samples:       ds.Len(),
-			PositiveRate:  float64(pos) / float64(ds.Len()),
-			TrainAccuracy: float64(correct) / float64(ds.Len()),
-		})
+		p.cfg.OnRetrain(p.retrainStats(model, ds))
 	}
 
 	p.winReqs = p.winReqs[:0]
 	p.winFeats = p.winFeats[:0]
-	p.deploy(model)
+	p.model = model
+	p.windows++
+	p.rescoreWith(ids, rescoreRows)
 }
 
-// deploy swaps in a freshly trained model and re-ranks residents.
+// retrainStats measures the new model against OPT on its own training
+// window with one batched prediction.
+func (p *LFO) retrainStats(model *gbdt.Model, ds *gbdt.Dataset) RetrainStats {
+	preds := make([]float64, ds.Len())
+	model.PredictBatch(p.winFeats, preds, p.cfg.Workers)
+	correct, pos := 0, 0
+	for i := 0; i < ds.Len(); i++ {
+		pred := preds[i] >= p.cfg.Cutoff
+		if pred == (ds.Label(i) == 1) {
+			correct++
+		}
+		if ds.Label(i) == 1 {
+			pos++
+		}
+	}
+	return RetrainStats{
+		Window:        p.windows,
+		Samples:       ds.Len(),
+		PositiveRate:  float64(pos) / float64(ds.Len()),
+		TrainAccuracy: float64(correct) / float64(ds.Len()),
+	}
+}
+
+// deploy swaps in a freshly trained model and re-ranks residents; the
+// async path has no prebuilt rescore matrix, so it extracts one here.
 func (p *LFO) deploy(model *gbdt.Model) {
 	p.model = model
 	p.windows++
-	p.rescoreResidents()
+	ids, rows := p.gatherResidents()
+	p.rescoreWith(ids, rows)
 }
 
 // retrainAsync snapshots the window and trains in a goroutine; the model
@@ -315,26 +363,24 @@ func trainWindow(reqs []trace.Request, feats []float64, cfg Config) *gbdt.Model 
 	if err != nil {
 		panic(fmt.Sprintf("core: OPT computation failed: %v", err))
 	}
-	ds := gbdt.NewDataset(features.Dim)
-	for i := range reqs {
-		label := 0.0
+	labels := make([]float64, len(reqs))
+	for i := range labels {
 		if res.Admit[i] {
-			label = 1
+			labels[i] = 1
 		}
-		ds.Append(feats[i*features.Dim:(i+1)*features.Dim], label)
 	}
-	model, err := gbdt.Train(ds, cfg.GBDT)
+	model, err := gbdt.Train(gbdt.DatasetFromMatrix(features.Dim, feats, labels), cfg.GBDT)
 	if err != nil {
 		panic(fmt.Sprintf("core: training failed: %v", err))
 	}
 	return model
 }
 
-// rescoreResidents re-ranks every resident object under the new model so
-// bootstrap-era or stale-model priorities cannot linger. Objects are
-// visited in sorted ID order: map iteration order would otherwise leak
-// into the rank queue's tie-breaking and make runs non-reproducible.
-func (p *LFO) rescoreResidents() {
+// gatherResidents snapshots the resident set in sorted ID order and
+// extracts the feature row the model scores each resident with. Sorting
+// keeps map iteration order out of the rank queue's tie-breaking; the
+// tracker is only read, so rows fill in parallel chunks.
+func (p *LFO) gatherResidents() ([]trace.ObjectID, []float64) {
 	type resident struct {
 		id   trace.ObjectID
 		size int64
@@ -345,8 +391,30 @@ func (p *LFO) rescoreResidents() {
 		return true
 	})
 	sort.Slice(residents, func(i, j int) bool { return residents[i].id < residents[j].id })
-	for _, res := range residents {
-		p.tracker.FeaturesByID(res.id, res.size, p.now, p.store.Free(), p.buf)
-		p.rank.Update(res.id, p.model.Predict(p.buf))
+
+	ids := make([]trace.ObjectID, len(residents))
+	rows := make([]float64, len(residents)*features.Dim)
+	free := p.store.Free()
+	par.Ranges(len(residents), p.cfg.Workers, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ids[i] = residents[i].id
+			p.tracker.FeaturesByID(residents[i].id, residents[i].size, p.now, free,
+				rows[i*features.Dim:(i+1)*features.Dim])
+		}
+	})
+	return ids, rows
+}
+
+// rescoreWith re-ranks the prebuilt resident rows under the current model
+// with one batched prediction, so bootstrap-era or stale-model priorities
+// cannot linger.
+func (p *LFO) rescoreWith(ids []trace.ObjectID, rows []float64) {
+	if len(ids) == 0 {
+		return
+	}
+	scores := make([]float64, len(ids))
+	p.model.PredictBatch(rows, scores, p.cfg.Workers)
+	for i, id := range ids {
+		p.rank.Update(id, scores[i])
 	}
 }

@@ -41,21 +41,21 @@ func Extract(tr *trace.Trace, cfg Config) (*Extraction, error) {
 		return nil, err
 	}
 
-	tracker := features.NewTracker(cfg.MaxTrackedObjects)
+	// The free-bytes feature comes from a sequential replay of the
+	// reference LRU (cache state is inherently serial); with that column
+	// precomputed, the tracker-driven rows shard across workers.
+	free := make([]int64, tr.Len())
 	ref := newRefLRU(cfg.CacheSize)
-	ex := &Extraction{
-		Feats:    make([]float64, 0, tr.Len()*features.Dim),
-		Labels:   res.Admit,
-		Requests: tr.Len(),
-	}
-	buf := make([]float64, features.Dim)
-	for _, r := range tr.Requests {
-		tracker.Features(r, ref.free(), buf)
-		ex.Feats = append(ex.Feats, buf...)
-		tracker.Update(r)
+	for i, r := range tr.Requests {
+		free[i] = ref.free()
 		ref.request(r)
 	}
-	return ex, nil
+	tracker := features.NewTracker(cfg.MaxTrackedObjects)
+	return &Extraction{
+		Feats:    tracker.BuildMatrix(tr.Requests, free, cfg.Workers),
+		Labels:   res.Admit,
+		Requests: tr.Len(),
+	}, nil
 }
 
 // Row returns feature row i.
@@ -63,17 +63,17 @@ func (e *Extraction) Row(i int) []float64 {
 	return e.Feats[i*features.Dim : (i+1)*features.Dim]
 }
 
-// Dataset converts the extraction into a training set.
+// Dataset converts the extraction into a training set. The feature
+// matrix is shared, not copied; do not mutate the extraction while the
+// dataset is in use.
 func (e *Extraction) Dataset() *gbdt.Dataset {
-	ds := gbdt.NewDataset(features.Dim)
-	for i := 0; i < e.Requests; i++ {
-		label := 0.0
-		if e.Labels[i] {
-			label = 1
+	y := make([]float64, e.Requests)
+	for i, admit := range e.Labels[:e.Requests] {
+		if admit {
+			y[i] = 1
 		}
-		ds.Append(e.Row(i), label)
 	}
-	return ds
+	return gbdt.DatasetFromMatrix(features.Dim, e.Feats, y)
 }
 
 // Subset returns an extraction over rows [lo, hi).
@@ -111,12 +111,15 @@ type EvalResult struct {
 }
 
 // Evaluate measures model-vs-OPT agreement on the extraction at the given
-// admission cutoff.
+// admission cutoff. Rows are scored with one batched prediction across
+// all cores; the verdict is identical to a sequential scan.
 func Evaluate(m *gbdt.Model, e *Extraction, cutoff float64) EvalResult {
+	probs := make([]float64, e.Requests)
+	m.PredictBatch(e.Feats[:e.Requests*features.Dim], probs, 0)
 	var res EvalResult
 	fp, fn := 0, 0
 	for i := 0; i < e.Requests; i++ {
-		pred := m.Predict(e.Row(i)) >= cutoff
+		pred := probs[i] >= cutoff
 		if e.Labels[i] {
 			res.Positives++
 			if !pred {

@@ -1,0 +1,86 @@
+package features
+
+import (
+	"fmt"
+
+	"lfo/internal/par"
+	"lfo/internal/trace"
+)
+
+// matrixMinChunk is the smallest request chunk worth a tracker snapshot:
+// below this, cloning per-object state costs more than the extraction it
+// parallelizes.
+const matrixMinChunk = 2048
+
+// Clone returns a deep copy of the tracker: mutating the clone (or the
+// original) never affects the other. Used to snapshot chunk-boundary
+// state for the parallel matrix builder and to fork per-connection state.
+func (t *Tracker) Clone() *Tracker {
+	c := &Tracker{
+		objects:    make(map[trace.ObjectID]*objectState, len(t.objects)),
+		maxObjects: t.maxObjects,
+		evictHeap:  append(ageHeap(nil), t.evictHeap...),
+	}
+	for id, st := range t.objects {
+		dup := *st
+		c.objects[id] = &dup
+	}
+	return c
+}
+
+// BuildMatrix returns the flat row-major feature matrix (len(reqs) rows,
+// Dim wide) that a sequential Features-then-Update replay of reqs would
+// produce, with free[i] supplying the free-bytes feature of request i.
+// The tracker ends in the sequential replay's final state.
+//
+// With workers > 1 the requests are split into chunks: a sequential
+// Update-only pass snapshots the tracker at each chunk boundary, then the
+// chunks extract their rows in parallel, each replaying from its boundary
+// snapshot. Features is a pure function of tracker state, so the matrix
+// is byte-identical for every worker count.
+func (t *Tracker) BuildMatrix(reqs []trace.Request, free []int64, workers int) []float64 {
+	if len(free) != len(reqs) {
+		panic(fmt.Sprintf("features: free length %d != %d requests", len(free), len(reqs)))
+	}
+	out := make([]float64, len(reqs)*Dim)
+	workers = par.Resolve(workers)
+	if workers <= 1 || len(reqs) < 2*matrixMinChunk {
+		for i, r := range reqs {
+			t.Features(r, free[i], out[i*Dim:(i+1)*Dim])
+			t.Update(r)
+		}
+		return out
+	}
+
+	chunks := workers
+	if maxChunks := len(reqs) / matrixMinChunk; chunks > maxChunks {
+		chunks = maxChunks
+	}
+	size := (len(reqs) + chunks - 1) / chunks
+
+	// Pass 1 (sequential): snapshot the boundary state of every chunk,
+	// advancing the live tracker with Update only.
+	snaps := make([]*Tracker, 0, chunks)
+	for lo := 0; lo < len(reqs); lo += size {
+		snaps = append(snaps, t.Clone())
+		hi := lo + size
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		for _, r := range reqs[lo:hi] {
+			t.Update(r)
+		}
+	}
+
+	// Pass 2 (parallel): each chunk replays from its snapshot and fills
+	// its disjoint row range.
+	par.Shards(len(reqs), size, workers, func(s, lo, hi int) {
+		tr := snaps[s]
+		for i := lo; i < hi; i++ {
+			r := reqs[i]
+			tr.Features(r, free[i], out[i*Dim:(i+1)*Dim])
+			tr.Update(r)
+		}
+	})
+	return out
+}

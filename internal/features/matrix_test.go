@@ -1,0 +1,135 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lfo/internal/trace"
+)
+
+// synthReqs builds a request stream with heavy re-reference so gap
+// features are exercised.
+func synthReqs(n int, seed int64) ([]trace.Request, []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]trace.Request, n)
+	free := make([]int64, n)
+	now := int64(0)
+	for i := range reqs {
+		now += int64(rng.Intn(50))
+		reqs[i] = trace.Request{
+			Time: now,
+			ID:   trace.ObjectID(rng.Intn(n / 20)),
+			Size: int64(64 + rng.Intn(4096)),
+			Cost: float64(1 + rng.Intn(3)),
+		}
+		free[i] = int64(rng.Intn(1 << 20))
+	}
+	return reqs, free
+}
+
+// sequentialMatrix is the reference implementation: Features then Update
+// per request.
+func sequentialMatrix(t *Tracker, reqs []trace.Request, free []int64) []float64 {
+	out := make([]float64, len(reqs)*Dim)
+	for i, r := range reqs {
+		t.Features(r, free[i], out[i*Dim:(i+1)*Dim])
+		t.Update(r)
+	}
+	return out
+}
+
+// matEqual compares matrices treating NaN (the Missing sentinel) as equal
+// to NaN.
+func matEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.IsNaN(a[i]) && math.IsNaN(b[i]) {
+			continue
+		}
+		//lfolint:ignore float-equal bit-identity across worker counts is the property under test
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBuildMatrixMatchesSequential proves the sharded builder is
+// bit-identical to the sequential replay for several worker counts, and
+// leaves the tracker in the same final state.
+func TestBuildMatrixMatchesSequential(t *testing.T) {
+	reqs, free := synthReqs(12000, 11)
+	ref := NewTracker(0)
+	want := sequentialMatrix(ref, reqs, free)
+
+	probe := trace.Request{Time: 1 << 40, ID: 3, Size: 100}
+	wantProbe := make([]float64, Dim)
+	ref.Features(probe, 500, wantProbe)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		tr := NewTracker(0)
+		got := tr.BuildMatrix(reqs, free, workers)
+		if !matEqual(got, want) {
+			t.Errorf("workers=%d: matrix differs from sequential replay", workers)
+		}
+		gotProbe := make([]float64, Dim)
+		tr.Features(probe, 500, gotProbe)
+		if !matEqual(gotProbe, wantProbe) {
+			t.Errorf("workers=%d: final tracker state differs from sequential replay", workers)
+		}
+	}
+}
+
+// TestBuildMatrixBoundedTracker exercises the eviction path: boundary
+// snapshots must replay the same evictions the sequential pass performs.
+func TestBuildMatrixBoundedTracker(t *testing.T) {
+	reqs, free := synthReqs(10000, 23)
+	ref := NewTracker(64)
+	want := sequentialMatrix(ref, reqs, free)
+
+	tr := NewTracker(64)
+	got := tr.BuildMatrix(reqs, free, 4)
+	if !matEqual(got, want) {
+		t.Error("workers=4 with bounded tracker: matrix differs from sequential replay")
+	}
+	if tr.Len() != ref.Len() {
+		t.Errorf("tracked objects: got %d, want %d", tr.Len(), ref.Len())
+	}
+}
+
+// TestCloneIsolation verifies mutations of a clone never leak into the
+// original and vice versa.
+func TestCloneIsolation(t *testing.T) {
+	orig := NewTracker(0)
+	orig.Update(trace.Request{Time: 10, ID: 1, Size: 50, Cost: 2})
+	orig.Update(trace.Request{Time: 30, ID: 1, Size: 50, Cost: 2})
+
+	clone := orig.Clone()
+	clone.Update(trace.Request{Time: 70, ID: 1, Size: 50, Cost: 9})
+	clone.Update(trace.Request{Time: 75, ID: 2, Size: 10, Cost: 1})
+
+	if orig.Len() != 1 || clone.Len() != 2 {
+		t.Fatalf("Len: orig %d (want 1), clone %d (want 2)", orig.Len(), clone.Len())
+	}
+	buf := make([]float64, Dim)
+	orig.Features(trace.Request{Time: 100, ID: 1, Size: 50}, 0, buf)
+	if got := buf[FeatGap0]; got != 70 {
+		t.Errorf("orig gap0 = %g, want 70 (clone's update leaked)", got)
+	}
+	if got := buf[FeatCost]; got != 2 {
+		t.Errorf("orig cost = %g, want 2 (clone's update leaked)", got)
+	}
+}
+
+// TestBuildMatrixLengthMismatchPanics pins the API contract.
+func TestBuildMatrixLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on free/reqs length mismatch")
+		}
+	}()
+	NewTracker(0).BuildMatrix(make([]trace.Request, 3), make([]int64, 2), 1)
+}

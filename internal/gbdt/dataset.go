@@ -40,6 +40,25 @@ func (d *Dataset) Append(row []float64, label float64) {
 	d.y = append(d.y, label)
 }
 
+// DatasetFromMatrix wraps an existing flat row-major matrix (len(y) rows,
+// dim wide) as a dataset without copying. Labels must be 0 or 1. The
+// caller must not mutate x or y while the dataset is in use.
+func DatasetFromMatrix(dim int, x []float64, y []float64) *Dataset {
+	if dim <= 0 {
+		panic("gbdt: dataset dimension must be positive")
+	}
+	if len(x) != len(y)*dim {
+		panic(fmt.Sprintf("gbdt: matrix length %d != %d rows × dim %d", len(x), len(y), dim))
+	}
+	for _, label := range y {
+		//lfolint:ignore float-equal labels are exact 0/1 sentinels assigned from constants, never computed
+		if label != 0 && label != 1 {
+			panic(fmt.Sprintf("gbdt: label must be 0 or 1, got %g", label))
+		}
+	}
+	return &Dataset{dim: dim, x: x, y: y}
+}
+
 // Row returns row i (not a copy; do not modify).
 func (d *Dataset) Row(i int) []float64 {
 	return d.x[i*d.dim : (i+1)*d.dim]

@@ -511,17 +511,18 @@ func TestHistogramSubtraction(t *testing.T) {
 	tr.computeGradients()
 
 	feats := []int{0, 1, 2, 3}
+	offsets := tr.histOffsets(feats)
 	all := tr.allRows()
-	parent := tr.newHistogram(feats)
+	parent := tr.newHistogram(offsets)
 	tr.buildHist(parent, feats, all)
 
 	half := all[:150]
 	rest := all[150:]
-	hHalf := tr.newHistogram(feats)
+	hHalf := tr.newHistogram(offsets)
 	tr.buildHist(hHalf, feats, half)
 	derived := subtractHist(parent, hHalf)
 
-	direct := tr.newHistogram(feats)
+	direct := tr.newHistogram(offsets)
 	tr.buildHist(direct, feats, rest)
 	for i := range direct.bins {
 		if direct.bins[i].count != derived.bins[i].count {

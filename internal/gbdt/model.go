@@ -5,7 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sync"
+
+	"lfo/internal/par"
 )
 
 // Model is a trained boosted-tree binary classifier.
@@ -37,42 +38,20 @@ func (m *Model) Predict(row []float64) float64 {
 }
 
 // PredictBatch fills out[i] with the positive-class probability of rows[i],
-// using up to workers goroutines (workers <= 1 runs inline). rows is a
-// flat row-major matrix of n rows. out must have length n.
+// using up to workers goroutines (0 = all available cores, 1 = inline).
+// rows is a flat row-major matrix of n rows; out must have length n. Rows
+// are scored independently, so the output is byte-identical for any
+// worker count.
 func (m *Model) PredictBatch(rows []float64, out []float64, workers int) {
 	n := len(out)
 	if len(rows) != n*m.Dim {
 		panic(fmt.Sprintf("gbdt: rows length %d != %d rows × dim %d", len(rows), n, m.Dim))
 	}
-	if workers <= 1 || n < 2 {
-		for i := 0; i < n; i++ {
+	par.Ranges(n, workers, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			out[i] = m.Predict(rows[i*m.Dim : (i+1)*m.Dim])
 		}
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = m.Predict(rows[i*m.Dim : (i+1)*m.Dim])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // NumTrees returns the number of boosted stages.

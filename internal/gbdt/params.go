@@ -55,6 +55,12 @@ type Params struct {
 	GOSSOtherRate float64
 	// Seed drives bagging, GOSS and feature sampling.
 	Seed int64
+	// Workers caps the goroutines used inside Train: row-sharded
+	// gradient/score updates and feature-parallel histogram building and
+	// split search. 0 means all available cores (runtime.GOMAXPROCS),
+	// 1 trains single-threaded. The trained model is byte-identical for
+	// every value — parallelism only changes wall-clock time.
+	Workers int
 }
 
 // DefaultParams returns LightGBM-style defaults with the paper's 30
@@ -102,6 +108,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("gbdt: GOSSOtherRate %g invalid for top rate %g", p.GOSSOtherRate, p.GOSSTopRate)
 	case p.GOSSTopRate > 0 && p.BaggingFreq > 0 && p.BaggingFraction < 1:
 		return fmt.Errorf("gbdt: GOSS and bagging are mutually exclusive")
+	case p.Workers < 0:
+		return fmt.Errorf("gbdt: Workers must be >= 0, got %d", p.Workers)
 	}
 	return nil
 }

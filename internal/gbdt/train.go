@@ -5,7 +5,21 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"lfo/internal/par"
 )
+
+// rowShardSize is the fixed row-shard granularity for parallel gradient
+// work. It depends only on the dataset, never on the worker count, so
+// per-shard accumulators reduced in shard order give bit-identical sums
+// for any Params.Workers value.
+const rowShardSize = 8192
+
+// parHistMinWork gates feature-parallel histogram/split work: leaves with
+// less scanning work than this run inline, where goroutine fan-out costs
+// more than it saves. The gate depends only on the data, so it cannot
+// break cross-worker-count determinism.
+const parHistMinWork = 1 << 13
 
 // Train fits a boosted-tree classifier to the dataset.
 func Train(d *Dataset, p Params) (*Model, error) {
@@ -17,9 +31,10 @@ func Train(d *Dataset, p Params) (*Model, error) {
 	}
 
 	t := &trainer{
-		p:   p,
-		d:   d,
-		rng: rand.New(rand.NewSource(p.Seed)),
+		p:       p,
+		d:       d,
+		rng:     rand.New(rand.NewSource(p.Seed)),
+		workers: par.Resolve(p.Workers),
 	}
 	t.b = buildBinner(d, p.MaxBins)
 	t.bd = binDataset(d, t.b)
@@ -64,41 +79,95 @@ func Train(d *Dataset, p Params) (*Model, error) {
 			continue
 		}
 		m.Trees = append(m.Trees, *tree)
-		// Update raw scores with the new tree.
-		for i := 0; i < n; i++ {
-			t.scores[i] += tree.predict(d.Row(i))
-		}
+		// Update raw scores with the new tree: per-row writes are
+		// disjoint, so the fan-out is order-independent.
+		par.Ranges(n, t.workers, 2048, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				t.scores[i] += tree.predict(d.Row(i))
+			}
+		})
 	}
 	return m, nil
 }
 
 type trainer struct {
-	p   Params
-	d   *Dataset
-	b   *binner
-	bd  *binned
-	rng *rand.Rand
+	p       Params
+	d       *Dataset
+	b       *binner
+	bd      *binned
+	rng     *rand.Rand
+	workers int
 
 	grad, hess []float64
 	scores     []float64
+
+	// Scratch reused across boosting rounds to avoid per-iteration churn.
+	rowScratch  []int32      // allRows / sampleRows output
+	gossIdx     []int32      // GOSS gradient-order permutation
+	gossRows    []int32      // GOSS sampled-row output
+	partG       []float64    // per-shard gradient sums (rowSums)
+	partH       []float64    // per-shard hessian sums (rowSums)
+	bestScratch []splitInfo  // per-feature split candidates (findBestSplit)
+	histFree    []*histogram // recycled histogram storage
+	histLive    []*histogram // histograms handed out for the current tree
 }
 
 // computeGradients evaluates the logistic loss gradient/hessian at the
-// current scores.
+// current scores. Writes are per-row, so the fan-out is deterministic.
 func (t *trainer) computeGradients() {
-	for i := range t.grad {
-		p := sigmoid(t.scores[i])
-		t.grad[i] = p - t.d.Label(i)
-		t.hess[i] = p * (1 - p)
-	}
+	par.Ranges(len(t.grad), t.workers, 2048, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := sigmoid(t.scores[i])
+			t.grad[i] = p - t.d.Label(i)
+			t.hess[i] = p * (1 - p)
+		}
+	})
 }
 
+// rowSums totals gradient/hessian mass over rows as fixed-size shard
+// partials reduced in shard order — bit-identical for any worker count.
+func (t *trainer) rowSums(rows []int32) (sumG, sumH float64) {
+	shards := par.NumShards(len(rows), rowShardSize)
+	if cap(t.partG) < shards {
+		t.partG = make([]float64, shards)
+		t.partH = make([]float64, shards)
+	}
+	partG := t.partG[:shards]
+	partH := t.partH[:shards]
+	par.Shards(len(rows), rowShardSize, t.workers, func(s, lo, hi int) {
+		var g, h float64
+		for _, r := range rows[lo:hi] {
+			g += t.grad[r]
+			h += t.hess[r]
+		}
+		partG[s] = g
+		partH[s] = h
+	})
+	for s := 0; s < shards; s++ {
+		sumG += partG[s]
+		sumH += partH[s]
+	}
+	return sumG, sumH
+}
+
+// allRows fills the reusable row-index scratch with every row.
 func (t *trainer) allRows() []int32 {
-	rows := make([]int32, t.d.Len())
+	rows := t.rowBuf(t.d.Len())
 	for i := range rows {
 		rows[i] = int32(i)
 	}
 	return rows
+}
+
+// rowBuf returns the shared row scratch resized to n. Only one sampled
+// row set is live at a time (the trainer re-samples in place), so reuse
+// across boosting rounds is safe.
+func (t *trainer) rowBuf(n int) []int32 {
+	if cap(t.rowScratch) < n {
+		t.rowScratch = make([]int32, n)
+	}
+	t.rowScratch = t.rowScratch[:n]
+	return t.rowScratch
 }
 
 // sampleRows draws BaggingFraction of the rows without replacement.
@@ -109,7 +178,7 @@ func (t *trainer) sampleRows() []int32 {
 		k = 1
 	}
 	perm := t.rng.Perm(n)
-	rows := make([]int32, k)
+	rows := t.rowBuf(k)
 	for i := 0; i < k; i++ {
 		rows[i] = int32(perm[i])
 	}
@@ -122,7 +191,10 @@ func (t *trainer) sampleRows() []int32 {
 // gradient and hessian by (1-a)/b so histogram statistics stay unbiased.
 func (t *trainer) sampleGOSS() []int32 {
 	n := t.d.Len()
-	idx := make([]int32, n)
+	if cap(t.gossIdx) < n {
+		t.gossIdx = make([]int32, n)
+	}
+	idx := t.gossIdx[:n]
 	for i := range idx {
 		idx[i] = int32(i)
 	}
@@ -140,7 +212,7 @@ func (t *trainer) sampleGOSS() []int32 {
 	if topN > n {
 		topN = n
 	}
-	rows := append([]int32(nil), idx[:topN]...)
+	rows := append(t.gossRows[:0], idx[:topN]...)
 	rest := idx[topN:]
 	sampleN := int(t.p.GOSSOtherRate * float64(n))
 	if sampleN > len(rest) {
@@ -156,6 +228,7 @@ func (t *trainer) sampleGOSS() []int32 {
 			rows = append(rows, r)
 		}
 	}
+	t.gossRows = rows
 	return rows
 }
 
@@ -191,32 +264,70 @@ type histBin struct {
 }
 
 // histogram is the per-leaf gradient histogram over the selected features,
-// stored flat with per-feature offsets.
+// stored flat with per-feature offsets. The offsets slice is shared by
+// every histogram of one tree (read-only).
 type histogram struct {
 	bins    []histBin
 	offsets []int // parallel to the selected feature list
 }
 
-func (t *trainer) newHistogram(feats []int) *histogram {
+// histOffsets computes the shared per-feature bin offsets for one tree's
+// selected features.
+func (t *trainer) histOffsets(feats []int) []int {
 	offsets := make([]int, len(feats)+1)
 	for i, f := range feats {
 		offsets[i+1] = offsets[i] + t.b.numBins(f)
 	}
-	return &histogram{bins: make([]histBin, offsets[len(feats)]), offsets: offsets}
+	return offsets
 }
 
-// build fills the histogram from the rows in idx.
-func (t *trainer) buildHist(h *histogram, feats []int, idx []int32) {
-	for fi, f := range feats {
-		col := t.bd.cols[f]
-		base := h.offsets[fi]
-		for _, r := range idx {
-			b := &h.bins[base+int(col[r])]
-			b.grad += t.grad[r]
-			b.hess += t.hess[r]
-			b.count++
-		}
+// newHistogram hands out a zeroed histogram, recycling storage released by
+// previous trees so steady-state training allocates no per-leaf buffers.
+func (t *trainer) newHistogram(offsets []int) *histogram {
+	need := offsets[len(offsets)-1]
+	var h *histogram
+	if n := len(t.histFree); n > 0 && cap(t.histFree[n-1].bins) >= need {
+		h = t.histFree[n-1]
+		t.histFree = t.histFree[:n-1]
+		h.bins = h.bins[:need]
+		clear(h.bins)
+		h.offsets = offsets
+	} else {
+		h = &histogram{bins: make([]histBin, need), offsets: offsets}
 	}
+	t.histLive = append(t.histLive, h)
+	return h
+}
+
+// recycleHistograms returns every histogram handed out for the finished
+// tree to the free pool.
+func (t *trainer) recycleHistograms() {
+	t.histFree = append(t.histFree, t.histLive...)
+	t.histLive = t.histLive[:0]
+}
+
+// buildHist fills the histogram from the rows in idx, feature-parallel:
+// each worker owns a contiguous slice of the selected features and writes
+// only that slice's bin range, and rows are scanned in idx order within
+// every feature — exactly the sequential accumulation order, so the bins
+// are bit-identical for any worker count.
+func (t *trainer) buildHist(h *histogram, feats []int, idx []int32) {
+	workers := t.workers
+	if len(idx)*len(feats) < parHistMinWork {
+		workers = 1
+	}
+	par.Ranges(len(feats), workers, 1, func(fiLo, fiHi int) {
+		for fi := fiLo; fi < fiHi; fi++ {
+			col := t.bd.cols[feats[fi]]
+			base := h.offsets[fi]
+			for _, r := range idx {
+				b := &h.bins[base+int(col[r])]
+				b.grad += t.grad[r]
+				b.hess += t.hess[r]
+				b.count++
+			}
+		}
+	})
 }
 
 // subtract sets h = parent - sibling, reusing parent's storage.
@@ -260,37 +371,65 @@ func (t *trainer) leafValue(g, h float64) float64 {
 	return -t.p.LearningRate * g / (h + t.p.Lambda)
 }
 
-// findBestSplit scans the histogram for the leaf's best split.
+// findBestSplit scans the histogram for the leaf's best split. Features
+// are scanned in parallel into per-feature candidates, then reduced in
+// feature order with a strictly-greater gain comparison — the same
+// first-wins tie-break (lowest feature index, lowest bin) as a sequential
+// scan, so the chosen split is identical for any worker count.
 func (t *trainer) findBestSplit(c *leafCand, feats []int) splitInfo {
+	totalC := int32(len(c.rows))
+	parentObj := t.leafObjective(c.sumGrad, c.sumHess)
+
+	if cap(t.bestScratch) < len(feats) {
+		t.bestScratch = make([]splitInfo, len(feats))
+	}
+	bests := t.bestScratch[:len(feats)]
+	workers := t.workers
+	if len(c.hist.bins) < parHistMinWork {
+		workers = 1
+	}
+	par.Ranges(len(feats), workers, 1, func(fiLo, fiHi int) {
+		for fi := fiLo; fi < fiHi; fi++ {
+			bests[fi] = t.bestSplitForFeature(c, parentObj, totalC, fi, feats[fi])
+		}
+	})
+
+	best := splitInfo{}
+	for fi := range bests {
+		if bests[fi].valid && (!best.valid || bests[fi].gain > best.gain) {
+			best = bests[fi]
+		}
+	}
+	return best
+}
+
+// bestSplitForFeature scans one feature's histogram column for its best
+// split, visiting candidate bins in the sequential order.
+func (t *trainer) bestSplitForFeature(c *leafCand, parentObj float64, totalC int32, fi, f int) splitInfo {
 	best := splitInfo{}
 	totalG, totalH := c.sumGrad, c.sumHess
-	totalC := int32(len(c.rows))
-	parentObj := t.leafObjective(totalG, totalH)
 	minData := int32(t.p.MinDataInLeaf)
-
-	for fi, f := range feats {
-		base := c.hist.offsets[fi]
-		nb := t.b.numBins(f)
-		miss := c.hist.bins[base+missingBin]
-		var accG, accH float64
-		var accC int32
-		// Split after bin b (bins 1..b left); last bin excluded (empty
-		// right side).
-		for b := 1; b < nb-1; b++ {
-			cell := c.hist.bins[base+b]
-			accG += cell.grad
-			accH += cell.hess
-			accC += cell.count
-			// Case 1: missing goes right.
-			t.evalSplit(&best, parentObj, fi, f, b, false,
-				accG, accH, accC,
-				totalG-accG, totalH-accH, totalC-accC, minData)
-			// Case 2: missing goes left.
-			if miss.count > 0 {
-				t.evalSplit(&best, parentObj, fi, f, b, true,
-					accG+miss.grad, accH+miss.hess, accC+miss.count,
-					totalG-accG-miss.grad, totalH-accH-miss.hess, totalC-accC-miss.count, minData)
-			}
+	base := c.hist.offsets[fi]
+	nb := t.b.numBins(f)
+	miss := c.hist.bins[base+missingBin]
+	var accG, accH float64
+	var accC int32
+	// Split after bin b (bins 1..b left); last bin excluded (empty
+	// right side).
+	for b := 1; b < nb-1; b++ {
+		cell := c.hist.bins[base+b]
+		accG += cell.grad
+		accH += cell.hess
+		accC += cell.count
+		// Case 1: missing goes right.
+		t.evalSplit(&best, parentObj, fi, f, b, false,
+			accG, accH, accC,
+			totalG-accG, totalH-accH, totalC-accC, minData)
+		// Case 2: missing goes left.
+		if miss.count > 0 {
+			t.evalSplit(&best, parentObj, fi, f, b, true,
+				accG+miss.grad, accH+miss.hess, accC+miss.count,
+				totalG-accG-miss.grad, totalH-accH-miss.hess, totalC-accC-miss.count, minData)
 		}
 	}
 	return best
@@ -316,17 +455,16 @@ func (t *trainer) evalSplit(best *splitInfo, parentObj float64, fi, f, b int, mi
 // buildTree grows one tree leaf-wise. Returns nil when no split improves
 // the objective.
 func (t *trainer) buildTree(rows []int32, feats []int) *Tree {
-	var sumG, sumH float64
-	for _, r := range rows {
-		sumG += t.grad[r]
-		sumH += t.hess[r]
-	}
+	defer t.recycleHistograms()
+
+	sumG, sumH := t.rowSums(rows)
 	tree := &Tree{}
 	rootRows := append([]int32(nil), rows...)
 	tree.Nodes = append(tree.Nodes, node{Feature: -1, Value: t.leafValue(sumG, sumH)})
 
+	offsets := t.histOffsets(feats)
 	root := &leafCand{rows: rootRows, sumGrad: sumG, sumHess: sumH, nodeIdx: 0}
-	root.hist = t.newHistogram(feats)
+	root.hist = t.newHistogram(offsets)
 	t.buildHist(root.hist, feats, root.rows)
 	root.best = t.findBestSplit(root, feats)
 
@@ -359,11 +497,11 @@ func (t *trainer) buildTree(rows []int32, feats []int) *Tree {
 			// Histogram subtraction: materialize the smaller child,
 			// derive the sibling from the parent.
 			if len(left.rows) <= len(right.rows) {
-				left.hist = t.newHistogram(feats)
+				left.hist = t.newHistogram(offsets)
 				t.buildHist(left.hist, feats, left.rows)
 				right.hist = subtractHist(c.hist, left.hist)
 			} else {
-				right.hist = t.newHistogram(feats)
+				right.hist = t.newHistogram(offsets)
 				t.buildHist(right.hist, feats, right.rows)
 				left.hist = subtractHist(c.hist, right.hist)
 			}

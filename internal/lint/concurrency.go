@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// isWaitGroupMethod reports whether call invokes the named method on a
+// sync.WaitGroup receiver (by value or pointer).
+func isWaitGroupMethod(p *Package, call *ast.CallExpr, name string) bool {
+	fn := callee(p, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// ruleWaitGroupMisuse flags the two classic sync.WaitGroup mistakes inside
+// a `go func() { ... }` literal:
+//
+//   - wg.Add called inside the spawned goroutine: the scheduler may run
+//     Wait before the goroutine's Add, so Wait returns early. Add must
+//     happen on the spawning side, before the go statement.
+//   - wg.Done called as a plain statement instead of deferred: a panic or
+//     early return between the work and the Done leaks the WaitGroup and
+//     deadlocks Wait.
+//
+// Only function literals launched directly by a go statement are scanned:
+// named methods that happen to run on a goroutine (e.g. an accept loop
+// that Adds before spawning per-connection handlers) are legitimate
+// spawning sides, not misuse.
+func ruleWaitGroupMisuse() Rule {
+	return Rule{
+		Name: "waitgroup-misuse",
+		Doc:  "flag wg.Add inside a spawned goroutine and non-deferred wg.Done; Add before go, defer Done inside",
+		Run: func(p *Package, report func(pos token.Pos, format string, args ...interface{})) {
+			inspect(p, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				fl, ok := gs.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.GoStmt:
+						// Nested go statements are visited by the outer
+						// walk in their own right.
+						return false
+					case *ast.DeferStmt:
+						// Deferred Done is the correct pattern.
+						return false
+					case *ast.ExprStmt:
+						if call, isCall := m.X.(*ast.CallExpr); isCall && isWaitGroupMethod(p, call, "Done") {
+							report(call.Pos(), "wg.Done is not deferred; a panic between here and the goroutine's end would deadlock Wait — use defer wg.Done()")
+						}
+					case *ast.CallExpr:
+						if isWaitGroupMethod(p, m, "Add") {
+							report(m.Pos(), "wg.Add inside the spawned goroutine races with Wait; call Add before the go statement")
+						}
+					}
+					return true
+				})
+				return true
+			})
+		},
+	}
+}

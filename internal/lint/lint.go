@@ -108,13 +108,14 @@ var NumericKernels = []string{
 func DefaultPolicy() Policy {
 	mapOrder := append(append([]string(nil), DeterministicCore...), NumericKernels...)
 	return Policy{
-		"time-now":        {Include: DeterministicCore},
-		"global-rand":     {Include: DeterministicCore},
-		"map-order":       {Include: mapOrder},
-		"float-equal":     {Include: NumericKernels},
-		"unchecked-error": {},
-		"fmt-print":       {Include: []string{"internal"}, Exclude: []string{"internal/cliutil"}},
-		"mutex-copy":      {},
+		"time-now":         {Include: DeterministicCore},
+		"global-rand":      {Include: DeterministicCore},
+		"map-order":        {Include: mapOrder},
+		"float-equal":      {Include: NumericKernels},
+		"unchecked-error":  {},
+		"fmt-print":        {Include: []string{"internal"}, Exclude: []string{"internal/cliutil"}},
+		"mutex-copy":       {},
+		"waitgroup-misuse": {},
 	}
 }
 
@@ -128,6 +129,7 @@ func AllRules() []Rule {
 		ruleUncheckedError(),
 		ruleFmtPrint(),
 		ruleMutexCopy(),
+		ruleWaitGroupMisuse(),
 	}
 }
 

@@ -21,6 +21,7 @@ var fixtureRule = map[string]string{
 	"uncheckederr": "unchecked-error",
 	"fmtprint":     "fmt-print",
 	"mutexcopy":    "mutex-copy",
+	"wgmisuse":     "waitgroup-misuse",
 	"suppress":     "time-now", // exercises the waiver mechanism
 	"suppressbad":  "time-now", // checked by TestMalformedSuppression
 }
@@ -191,6 +192,9 @@ func TestDefaultPolicyTiers(t *testing.T) {
 		{"fmt-print", "cmd/lfosim", false},       // CLIs own their stdout
 		{"mutex-copy", "internal/tiered", true},
 		{"mutex-copy", "examples/quickstart", true},
+		{"waitgroup-misuse", "internal/server", true},
+		{"waitgroup-misuse", "internal/par", true},
+		{"waitgroup-misuse", "cmd/lfosim", true},
 	}
 	for _, c := range cases {
 		scope, ok := policy[c.rule]

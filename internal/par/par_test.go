@@ -1,0 +1,98 @@
+package par_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"lfo/internal/par"
+)
+
+func TestResolve(t *testing.T) {
+	if got := par.Resolve(1); got != 1 {
+		t.Errorf("Resolve(1) = %d, want 1", got)
+	}
+	if got := par.Resolve(-3); got != 1 {
+		t.Errorf("Resolve(-3) = %d, want 1", got)
+	}
+	if got := par.Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d, want 7", got)
+	}
+	if got := par.Resolve(0); got < 1 {
+		t.Errorf("Resolve(0) = %d, want >= 1", got)
+	}
+}
+
+// TestRangesCovers verifies every index is visited exactly once for a
+// spread of sizes and worker counts.
+func TestRangesCovers(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1001} {
+		for _, workers := range []int{1, 2, 3, 8} {
+			seen := make([]int32, n)
+			par.Ranges(n, workers, 4, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad range [%d, %d) for n=%d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestShardsDecompositionFixed verifies the shard boundaries are a
+// function of (n, shardSize) only, independent of the worker count — the
+// property deterministic per-shard reductions rely on.
+func TestShardsDecompositionFixed(t *testing.T) {
+	n, shardSize := 1000, 64
+	shards := par.NumShards(n, shardSize)
+	ref := make([][2]int, shards)
+	par.Shards(n, shardSize, 1, func(s, lo, hi int) { ref[s] = [2]int{lo, hi} })
+	for _, workers := range []int{2, 3, 8} {
+		got := make([][2]int, shards)
+		par.Shards(n, shardSize, workers, func(s, lo, hi int) { got[s] = [2]int{lo, hi} })
+		for s := range ref {
+			if got[s] != ref[s] {
+				t.Fatalf("workers=%d shard %d = %v, want %v", workers, s, got[s], ref[s])
+			}
+		}
+	}
+}
+
+// TestShardsSumDeterministic runs a per-shard float accumulation reduced
+// in shard order and requires bit-identical totals across worker counts.
+func TestShardsSumDeterministic(t *testing.T) {
+	n := 4096
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1.0 / float64(i+3)
+	}
+	sum := func(workers int) float64 {
+		shards := par.NumShards(n, 128)
+		part := make([]float64, shards)
+		par.Shards(n, 128, workers, func(s, lo, hi int) {
+			acc := 0.0
+			for i := lo; i < hi; i++ {
+				acc += vals[i]
+			}
+			part[s] = acc
+		})
+		total := 0.0
+		for _, p := range part {
+			total += p
+		}
+		return total
+	}
+	want := sum(1)
+	for _, workers := range []int{2, 4, 8} {
+		//lfolint:ignore float-equal bit-identity across worker counts is the property under test
+		if got := sum(workers); got != want {
+			t.Errorf("workers=%d sum %v != sequential %v", workers, got, want)
+		}
+	}
+}

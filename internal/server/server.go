@@ -32,7 +32,8 @@ type Server struct {
 }
 
 // New returns a server deploying the given model. workers bounds the
-// per-request prediction parallelism (0 = serial).
+// per-request prediction parallelism (0 = all available cores, 1 =
+// serial).
 func New(model *gbdt.Model, workers int) *Server {
 	s := &Server{workers: workers, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
 	s.model.Store(model)

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# bench.sh — record the hot-path benchmark suite as a JSON artifact.
+#
+# Runs the five hot-path micro-benchmarks (GBDT train/predict, feature
+# tracking, simulator, LFO cache request) with -benchmem at GOMAXPROCS 1
+# and 4, and writes BENCH_<date>.json with ns/op, B/op, and allocs/op per
+# benchmark. The JSON is the comparable record: commit it alongside perf
+# changes so regressions show up in review.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=2s scripts/bench.sh    # override -benchtime (default 1s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_$(date +%Y-%m-%d).json}
+benchtime=${BENCHTIME:-1s}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+bench='^(BenchmarkGBDTTrain|BenchmarkGBDTPredict|BenchmarkFeatureTracking|BenchmarkSimulatorRun|BenchmarkLFOCacheRequest)$'
+
+echo "== go test -bench (this takes a few minutes)"
+go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" -cpu 1,4 . | tee "$raw"
+
+awk -v date="$(date +%Y-%m-%d)" -v cpus="$(nproc)" -v benchtime="$benchtime" '
+BEGIN { n = 0 }
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    cpu = 1
+    # Trailing -N on the benchmark name is the GOMAXPROCS setting.
+    if (match(name, /-[0-9]+$/)) {
+        cpu = substr(name, RSTART + 1)
+        name = substr(name, 1, RSTART - 1)
+    }
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "B/op") bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    n++
+    line = sprintf("    {\"name\": \"%s\", \"gomaxprocs\": %s, \"ns_per_op\": %s", name, cpu, ns)
+    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    line = line "}"
+    results[n] = line
+}
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"hardware_cpus\": %s,\n", cpus
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"note\": \"-cpu sets GOMAXPROCS; wall-clock speedup is bounded by hardware_cpus\",\n"
+    printf "  \"results\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", results[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+}
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -33,6 +33,7 @@ step "go test ./..."
 go test ./...
 
 step "go test -race (concurrent packages)"
-go test -race ./internal/server ./internal/tiered ./internal/sim
+go test -race ./internal/server ./internal/tiered ./internal/sim \
+    ./internal/par ./internal/gbdt ./internal/features ./internal/core
 
 echo "ALL CHECKS PASSED"
