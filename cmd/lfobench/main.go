@@ -29,6 +29,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "base seed")
 		sizeStr = flag.String("size", "", "override cache size (e.g. 64m)")
 		reqs    = flag.Int("n", 0, "override trace length")
+		workers = flag.Int("workers", 0, "goroutines for LFO training/scoring and OPT labeling: 0=all cores, 1=sequential")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 		fatalf("unknown -scale %q", *scale)
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	if *sizeStr != "" {
 		size, err := cliutil.ParseBytes(*sizeStr)
 		if err != nil || size <= 0 {

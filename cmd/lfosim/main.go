@@ -36,6 +36,7 @@ func main() {
 		objective = flag.String("objective", "bhr", "cost objective: bhr, ohr or cost")
 		warmup    = flag.Int("warmup", 0, "requests excluded from metrics")
 		window    = flag.Int("window", 50000, "LFO training window (with -policy lfo)")
+		workers   = flag.Int("workers", 0, "goroutines for LFO training/scoring and OPT labeling: 0=all cores, 1=sequential")
 		series    = flag.Int("series", 0, "also print per-window metrics every N requests")
 	)
 	flag.Parse()
@@ -69,7 +70,7 @@ func main() {
 
 	var results []*sim.Metrics
 	for _, pn := range names {
-		p, err := makePolicy(pn, size, *seed, *window)
+		p, err := makePolicy(pn, size, *seed, *window, *workers)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -106,12 +107,13 @@ func loadTrace(path, mix string, n int, seed int64) (*trace.Trace, error) {
 	}
 }
 
-func makePolicy(name string, size, seed int64, window int) (sim.Policy, error) {
+func makePolicy(name string, size, seed int64, window, workers int) (sim.Policy, error) {
 	if name == "lfo" {
 		return core.New(core.Config{
 			CacheSize:  size,
 			WindowSize: window,
 			OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
+			Workers:    workers,
 		})
 	}
 	return policy.New(name, size, seed)

@@ -30,6 +30,7 @@ func main() {
 		maxStr    = flag.String("max", "1g", "largest cache size")
 		points    = flag.Int("points", 10, "number of curve points")
 		withOPT   = flag.Bool("opt", false, "also sample the offline-optimal bound (slower)")
+		workers   = flag.Int("workers", 0, "goroutines for the OPT curve points: 0=all cores, 1=sequential")
 	)
 	flag.Parse()
 
@@ -63,7 +64,7 @@ func main() {
 
 	var optPts []mrc.Point
 	if *withOPT {
-		optPts, err = mrc.ComputeOPT(tr, sizes, opt.Config{})
+		optPts, err = mrc.ComputeOPT(tr, sizes, opt.Config{Workers: *workers})
 		if err != nil {
 			fatalf("OPT curve: %v", err)
 		}

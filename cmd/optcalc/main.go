@@ -32,6 +32,8 @@ func main() {
 		objective = flag.String("objective", "bhr", "cost objective: bhr, ohr or cost")
 		algo      = flag.String("algo", "auto", "solver: auto, flow or greedy")
 		rank      = flag.Float64("rank", 1.0, "rank fraction of intervals to solve (0,1]")
+		segments  = flag.Int("segments", 0, "time-axis solve segments: 0=auto, 1=unsegmented, N>1 as given")
+		workers   = flag.Int("workers", 0, "goroutines for concurrent segment solves: 0=all cores, 1=sequential")
 		decisions = flag.String("decisions", "", "write per-request decisions (0/1) to this file")
 	)
 	flag.Parse()
@@ -77,6 +79,8 @@ func main() {
 		CacheSize:    size,
 		Algorithm:    algorithm,
 		RankFraction: *rank,
+		Segments:     *segments,
+		Workers:      *workers,
 	})
 	if err != nil {
 		fatalf("compute OPT: %v", err)
@@ -84,9 +88,12 @@ func main() {
 	elapsed := time.Since(start)
 
 	fmt.Printf("requests:   %d\n", tr.Len())
-	fmt.Printf("intervals:  %d (solved %d)\n", res.Intervals, res.Solved)
+	fmt.Printf("intervals:  %d (solved %d, dropped %d)\n", res.Intervals, res.Solved, res.DroppedIntervals())
 	fmt.Printf("cache:      %s, objective %s, algorithm %s, rank %.2f\n",
 		cliutil.FormatBytes(size), obj, algorithm, *rank)
+	fmt.Printf("labeled by: %s (%d segments: %d flow, %d greedy; %d flow ivs, %d greedy ivs, %d boundary)\n",
+		res.AlgoLabel(), res.Segments, res.FlowSegments, res.GreedySegments,
+		res.FlowIntervals, res.GreedyIntervals, res.BoundaryIntervals)
 	fmt.Printf("OPT BHR:    %.4f\n", res.BHR())
 	fmt.Printf("OPT OHR:    %.4f\n", res.OHR())
 	fmt.Printf("miss cost:  %.0f\n", res.MissCost)

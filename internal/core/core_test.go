@@ -69,6 +69,15 @@ func TestLFOTrainsAndServes(t *testing.T) {
 		if s.PositiveRate <= 0 || s.PositiveRate >= 1 {
 			t.Errorf("window %d: degenerate positive rate %.3f", s.Window, s.PositiveRate)
 		}
+		if s.OPTAlgo != "flow" {
+			t.Errorf("window %d: OPTAlgo = %q, want flow (AlgoFlow, small window)", s.Window, s.OPTAlgo)
+		}
+		if s.OPTSegments < 1 {
+			t.Errorf("window %d: OPTSegments = %d, want >= 1", s.Window, s.OPTSegments)
+		}
+		if s.OPTFlowIntervals+s.OPTGreedyIntervals+s.OPTDroppedIntervals <= 0 {
+			t.Errorf("window %d: no interval accounting in stats", s.Window)
+		}
 	}
 	if m.Hits == 0 {
 		t.Error("LFO scored zero hits")

@@ -85,6 +85,19 @@ type RetrainStats struct {
 	// TrainAccuracy is the model's agreement with OPT on its own
 	// training window.
 	TrainAccuracy float64
+	// OPTAlgo reports which solver(s) labeled the window: "flow",
+	// "greedy", "flow+greedy", or "none" (see opt.Result.AlgoLabel).
+	OPTAlgo string
+	// OPTSegments is the number of time-axis segments the OPT solve used.
+	OPTSegments int
+	// OPTFlowIntervals and OPTGreedyIntervals count the intervals labeled
+	// by the exact flow solver and by the feasible greedy (including
+	// segment-boundary stitching), respectively.
+	OPTFlowIntervals   int
+	OPTGreedyIntervals int
+	// OPTDroppedIntervals counts intervals excluded by rank selection and
+	// declared uncached without solving.
+	OPTDroppedIntervals int
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +112,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GBDT.Workers == 0 {
 		c.GBDT.Workers = c.Workers
+	}
+	if c.OPT.Workers == 0 {
+		c.OPT.Workers = c.Workers
 	}
 	c.OPT.CacheSize = c.CacheSize
 	return c
@@ -291,7 +307,7 @@ func (p *LFO) retrain() {
 	}
 
 	if p.cfg.OnRetrain != nil {
-		p.cfg.OnRetrain(p.retrainStats(model, ds))
+		p.cfg.OnRetrain(p.retrainStats(model, ds, res))
 	}
 
 	p.winReqs = p.winReqs[:0]
@@ -303,7 +319,7 @@ func (p *LFO) retrain() {
 
 // retrainStats measures the new model against OPT on its own training
 // window with one batched prediction.
-func (p *LFO) retrainStats(model *gbdt.Model, ds *gbdt.Dataset) RetrainStats {
+func (p *LFO) retrainStats(model *gbdt.Model, ds *gbdt.Dataset, res *opt.Result) RetrainStats {
 	preds := make([]float64, ds.Len())
 	model.PredictBatch(p.winFeats, preds, p.cfg.Workers)
 	correct, pos := 0, 0
@@ -317,10 +333,15 @@ func (p *LFO) retrainStats(model *gbdt.Model, ds *gbdt.Dataset) RetrainStats {
 		}
 	}
 	return RetrainStats{
-		Window:        p.windows,
-		Samples:       ds.Len(),
-		PositiveRate:  float64(pos) / float64(ds.Len()),
-		TrainAccuracy: float64(correct) / float64(ds.Len()),
+		Window:              p.windows,
+		Samples:             ds.Len(),
+		PositiveRate:        float64(pos) / float64(ds.Len()),
+		TrainAccuracy:       float64(correct) / float64(ds.Len()),
+		OPTAlgo:             res.AlgoLabel(),
+		OPTSegments:         res.Segments,
+		OPTFlowIntervals:    res.FlowIntervals,
+		OPTGreedyIntervals:  res.GreedyIntervals,
+		OPTDroppedIntervals: res.DroppedIntervals(),
 	}
 }
 

@@ -37,6 +37,10 @@ type Config struct {
 	Seed int64
 	// Objective assigns retrieval costs (BHR by default).
 	Objective trace.Objective
+	// Workers caps the goroutines LFO's training/scoring pipeline and the
+	// segmented OPT solve may use; 0 means all cores, 1 is sequential.
+	// Results are byte-identical for any value.
+	Workers int
 }
 
 // Quick returns a configuration sized for unit tests and CI (seconds).
@@ -89,6 +93,7 @@ func (c Config) lfoConfig() core.Config {
 		WindowSize: c.Window,
 		OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
 		GBDT:       gbdt.DefaultParams(),
+		Workers:    c.Workers,
 	}
 }
 

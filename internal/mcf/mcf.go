@@ -45,6 +45,34 @@ func NewGraph(n int) *Graph {
 	return &Graph{n: n, supply: make([]int64, n), head: head}
 }
 
+// Reset reuses the graph's arrays for a fresh n-node instance, dropping
+// all edges and supplies. Repeated solves over same-shaped problems (the
+// per-segment OPT graphs) reuse one Graph instead of reallocating the
+// edge arena each time.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		panic("mcf: negative node count")
+	}
+	if cap(g.head) < n {
+		g.head = make([]int32, n)
+	}
+	if cap(g.supply) < n {
+		g.supply = make([]int64, n)
+	}
+	g.head = g.head[:n]
+	g.supply = g.supply[:n]
+	for i := range g.head {
+		g.head[i] = -1
+		g.supply[i] = 0
+	}
+	g.n = n
+	g.to = g.to[:0]
+	g.cap = g.cap[:0]
+	g.cost = g.cost[:0]
+	g.next = g.next[:0]
+	g.solved = false
+}
+
 // NumNodes returns the node count.
 func (g *Graph) NumNodes() int { return g.n }
 
@@ -104,16 +132,62 @@ var ErrInfeasible = errors.New("mcf: infeasible flow problem")
 var ErrUnbalanced = errors.New("mcf: supplies do not sum to zero")
 
 // Solve routes all supply to demand at minimum total cost and returns that
-// cost. Solve may be called once per graph.
+// cost. Solve may be called once per graph. Callers solving many graphs
+// should allocate one Solver and reuse it; this convenience wrapper
+// allocates fresh scratch every call.
 func (g *Graph) Solve() (int64, error) {
+	return NewSolver().Solve(g)
+}
+
+// Solver holds the successive-shortest-path scratch state (potentials,
+// distances, predecessor edges, the Dijkstra heap) so that repeated
+// solves — one per OPT window segment — reuse a single allocation instead
+// of rebuilding the arrays per graph. A Solver is not safe for concurrent
+// use; give each worker its own.
+type Solver struct {
+	pot      []int64
+	dist     []int64
+	visited  []bool
+	prevEdge []int32
+	h        *heap
+}
+
+// NewSolver returns an empty solver; scratch grows to fit the largest
+// graph it solves and is retained between calls.
+func NewSolver() *Solver {
+	return &Solver{h: newHeap(0)}
+}
+
+// grow sizes the scratch for a graph with nn nodes (including the
+// super-source/sink pair) and resets the potentials.
+func (s *Solver) grow(nn int) {
+	if cap(s.pot) < nn {
+		s.pot = make([]int64, nn)
+		s.dist = make([]int64, nn)
+		s.visited = make([]bool, nn)
+		s.prevEdge = make([]int32, nn)
+	}
+	s.pot = s.pot[:nn]
+	s.dist = s.dist[:nn]
+	s.visited = s.visited[:nn]
+	s.prevEdge = s.prevEdge[:nn]
+	for i := range s.pot {
+		s.pot[i] = 0
+	}
+}
+
+// Solve routes all supply to demand at minimum total cost and returns
+// that cost. Each graph may be solved once (Solve consumes the residual
+// capacities); the solver itself is reusable across graphs.
+func (s *Solver) Solve(g *Graph) (int64, error) {
 	if g.solved {
 		return 0, errors.New("mcf: Solve called twice")
 	}
 	g.solved = true
 
 	var balance int64
-	for _, s := range g.supply {
-		balance += s
+	for _, sup := range g.supply {
+		balance += sup
 	}
 	if balance != 0 {
 		return 0, fmt.Errorf("%w: total %d", ErrUnbalanced, balance)
@@ -121,12 +195,12 @@ func (g *Graph) Solve() (int64, error) {
 
 	// Super-source / super-sink reformulation: append two nodes and
 	// connect them to every source/sink.
-	s, t := g.n, g.n+1
+	src, t := g.n, g.n+1
 	g.head = append(g.head, -1, -1)
 	var totalSupply int64
 	for v := 0; v < g.n; v++ {
 		if g.supply[v] > 0 {
-			g.addInternal(s, v, g.supply[v], 0)
+			g.addInternal(src, v, g.supply[v], 0)
 			totalSupply += g.supply[v]
 		} else if g.supply[v] < 0 {
 			g.addInternal(v, t, -g.supply[v], 0)
@@ -134,24 +208,22 @@ func (g *Graph) Solve() (int64, error) {
 	}
 	nn := g.n + 2
 
-	pot := make([]int64, nn)
-	dist := make([]int64, nn)
-	visited := make([]bool, nn)
-	prevEdge := make([]int32, nn)
+	s.grow(nn)
+	pot, dist, visited, prevEdge := s.pot, s.dist, s.visited, s.prevEdge
 
 	var totalCost int64
 	routed := int64(0)
-	h := newHeap(nn)
+	h := s.h
 	for routed < totalSupply {
-		// Dijkstra from s on reduced costs.
+		// Dijkstra from the super-source on reduced costs.
 		for i := range dist {
 			dist[i] = math.MaxInt64
 			visited[i] = false
 			prevEdge[i] = -1
 		}
-		dist[s] = 0
+		dist[src] = 0
 		h.reset()
-		h.push(0, int32(s))
+		h.push(0, int32(src))
 		for h.len() > 0 {
 			d, u := h.pop()
 			if visited[u] {
@@ -192,16 +264,16 @@ func (g *Graph) Solve() (int64, error) {
 				pot[v] += dt
 			}
 		}
-		// Find bottleneck along s..t path and augment.
+		// Find bottleneck along the source..t path and augment.
 		bottleneck := totalSupply - routed
-		for v := int32(t); int(v) != s; {
+		for v := int32(t); int(v) != src; {
 			e := prevEdge[v]
 			if g.cap[e] < bottleneck {
 				bottleneck = g.cap[e]
 			}
 			v = g.to[e^1]
 		}
-		for v := int32(t); int(v) != s; {
+		for v := int32(t); int(v) != src; {
 			e := prevEdge[v]
 			g.cap[e] -= bottleneck
 			g.cap[e^1] += bottleneck

@@ -312,3 +312,80 @@ func TestFlowConservation(t *testing.T) {
 		}
 	}
 }
+
+// TestSolverReuseAcrossGraphs: one Solver solving a sequence of graphs
+// must produce the same costs and flows as fresh per-graph solves — the
+// scratch (potentials in particular) must not leak between solves.
+func TestSolverReuseAcrossGraphs(t *testing.T) {
+	build := func(k int64) *Graph {
+		g := NewGraph(4)
+		g.AddEdge(0, 1, 10, 1+k)
+		g.AddEdge(0, 2, 10, 2)
+		g.AddEdge(1, 3, 10, 1)
+		g.AddEdge(2, 3, 10, 3+k)
+		g.SetSupply(0, 7)
+		g.SetSupply(3, -7)
+		return g
+	}
+	s := NewSolver()
+	for k := int64(0); k < 5; k++ {
+		shared, err := s.Solve(build(k))
+		if err != nil {
+			t.Fatalf("k=%d: shared solver: %v", k, err)
+		}
+		fresh, err := build(k).Solve()
+		if err != nil {
+			t.Fatalf("k=%d: fresh solver: %v", k, err)
+		}
+		if shared != fresh {
+			t.Errorf("k=%d: shared solver cost %d != fresh %d", k, shared, fresh)
+		}
+	}
+}
+
+// TestGraphReset: a Reset graph must solve exactly like a newly built one,
+// including edge flows, and must drop stale supplies and edges.
+func TestGraphReset(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 5, 2)
+	g.AddEdge(1, 2, 5, 2)
+	g.SetSupply(0, 5)
+	g.SetSupply(2, -5)
+	if _, err := g.Solve(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reuse for a different, smaller problem.
+	g.Reset(2)
+	if g.NumNodes() != 2 || g.NumEdges() != 0 {
+		t.Fatalf("after Reset: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	e := g.AddEdge(0, 1, 10, 3)
+	g.SetSupply(0, 4)
+	g.SetSupply(1, -4)
+	cost, err := g.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 12 {
+		t.Errorf("cost = %d, want 12", cost)
+	}
+	if got := g.Flow(e); got != 4 {
+		t.Errorf("Flow = %d, want 4", got)
+	}
+
+	// Reset to a larger instance than ever allocated.
+	g.Reset(6)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, i+1, 3, 1)
+	}
+	g.SetSupply(0, 3)
+	g.SetSupply(5, -3)
+	cost, err = g.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 15 {
+		t.Errorf("cost = %d, want 15", cost)
+	}
+}

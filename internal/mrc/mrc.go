@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"lfo/internal/opt"
+	"lfo/internal/par"
 	"lfo/internal/trace"
 )
 
@@ -134,22 +135,37 @@ func (c *Curve) Sample(sizes []int64) []Point {
 }
 
 // ComputeOPT samples the offline-optimal hit ratios at each cache size
-// using the opt package (exact flow for small instances, feasible greedy
-// beyond — see opt.Config.AutoFlowLimit). cfg.CacheSize is overridden per
-// point; leave cfg.RankFraction at its full-solve default so the curve
-// upper-bounds every online policy at every size.
+// using the opt package (exact flow per time-axis segment up to
+// opt.Config.AutoFlowLimit intervals, segmented beyond — see
+// opt.Config.Segments). cfg.CacheSize is overridden per point; leave
+// cfg.RankFraction at its full-solve default so the curve upper-bounds
+// every online policy at every size. The sizes are solved concurrently
+// under cfg.Workers (0 = all cores); each point writes only its own slot,
+// so the curve is byte-identical for any worker count.
 func ComputeOPT(tr *trace.Trace, sizes []int64, cfg opt.Config) ([]Point, error) {
-	pts := make([]Point, len(sizes))
-	for i, s := range sizes {
+	for _, s := range sizes {
 		if s <= 0 {
 			return nil, fmt.Errorf("mrc: non-positive cache size %d", s)
 		}
-		cfg.CacheSize = s
-		res, err := opt.Compute(tr, cfg)
+	}
+	pts := make([]Point, len(sizes))
+	errs := make([]error, len(sizes))
+	par.Ranges(len(sizes), cfg.Workers, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := cfg
+			c.CacheSize = sizes[i]
+			res, err := opt.Compute(tr, c)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			pts[i] = Point{CacheSize: sizes[i], BHR: res.BHR(), OHR: res.OHR()}
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pts[i] = Point{CacheSize: s, BHR: res.BHR(), OHR: res.OHR()}
 	}
 	return pts, nil
 }

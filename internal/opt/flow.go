@@ -3,103 +3,109 @@ package opt
 import (
 	"fmt"
 	"sort"
-
-	"lfo/internal/mcf"
-	"lfo/internal/trace"
 )
 
-// solveFlow builds the FOO min-cost flow graph (Figure 4 of the paper) over
-// the selected intervals and marks Admit[i] for every interval whose bytes
-// are routed entirely along the cache (central) path.
+// flowSegment builds the FOO min-cost flow graph (Figure 4 of the paper)
+// over one segment's intervals and marks Admit[i] for every interval whose
+// bytes are routed entirely along the cache (central) path.
 //
 // The graph uses the per-interval formulation, which is equivalent to the
 // paper's first-to-last-request formulation after supply cancellation at
 // interior nodes: each interval injects size bytes at its start request and
 // withdraws them at its end request; a bypass arc of capacity size and
-// per-byte cost C/S models a miss, while central arcs of capacity CacheSize
-// and zero cost model storing bytes in the cache.
+// per-byte cost C/S models a miss, while central arcs of zero cost model
+// storing bytes in the cache. A central arc's capacity is the cache size
+// minus the bytes already reserved by stitched boundary intervals over the
+// arc's time span, so segments never overcommit shared capacity.
 //
 // Only request indices that appear as interval endpoints become nodes
 // (consecutive endpoints are joined by a single central arc), which keeps
 // the graph small when rank selection drops intervals.
-func solveFlow(tr *trace.Trace, selected []interval, cfg Config, res *Result) error {
-	if len(selected) == 0 {
-		return nil
-	}
-
-	// Collect endpoint request indices and compress to node ids.
-	idxSet := make(map[int]struct{}, 2*len(selected))
-	for _, iv := range selected {
-		idxSet[iv.from] = struct{}{}
-		idxSet[iv.to] = struct{}{}
-	}
-	idx := make([]int, 0, len(idxSet))
-	for i := range idxSet {
-		idx = append(idx, i)
+//
+// sc.occ must be sized for the segment and pre-seeded with the boundary
+// occupancy (indices relative to sg.lo); the graph, solver, and buffers in
+// sc are reused across calls.
+func flowSegment(sg *segment, cfg Config, res *Result, sc *solveScratch) error {
+	// Collect endpoint request indices and compress to node ids: sort,
+	// dedup in place, and look nodes up by binary search — no maps, so the
+	// hot path stays allocation-free across reuses.
+	idx := sc.idx[:0]
+	for _, iv := range sg.ivs {
+		idx = append(idx, iv.from, iv.to)
 	}
 	sort.Ints(idx)
-	node := make(map[int]int, len(idx))
-	for k, i := range idx {
-		node[i] = k
+	m := 0
+	for _, v := range idx {
+		if m == 0 || v != idx[m-1] {
+			idx[m] = v
+			m++
+		}
 	}
+	idx = idx[:m]
+	sc.idx = idx
 
-	g := mcf.NewGraph(len(idx))
-	// Central path: consecutive compressed nodes, capacity = cache size.
+	g := sc.g
+	g.Reset(len(idx))
+	// Central path: consecutive compressed nodes, capacity = cache size
+	// minus peak boundary occupancy over the gap.
 	for k := 0; k+1 < len(idx); k++ {
-		g.AddEdge(k, k+1, cfg.CacheSize, 0)
+		free := cfg.CacheSize - sc.occ.Max(idx[k]-sg.lo, idx[k+1]-sg.lo)
+		if free < 0 {
+			free = 0
+		}
+		g.AddEdge(k, k+1, free, 0)
 	}
 	// Bypass arcs and supplies per interval.
-	bypass := make([]int, len(selected))
-	for k, iv := range selected {
+	bypass := sc.bypass[:0]
+	for _, iv := range sg.ivs {
 		perByte := iv.cost / float64(iv.size) * float64(cfg.CostScale)
 		c := int64(perByte + 0.5)
 		if c < 1 {
 			c = 1
 		}
-		bypass[k] = g.AddEdge(node[iv.from], node[iv.to], iv.size, c)
-		g.AddSupply(node[iv.from], iv.size)
-		g.AddSupply(node[iv.to], -iv.size)
+		u := sort.SearchInts(idx, iv.from)
+		v := sort.SearchInts(idx, iv.to)
+		bypass = append(bypass, g.AddEdge(u, v, iv.size, c))
+		g.AddSupply(u, iv.size)
+		g.AddSupply(v, -iv.size)
 	}
-	if _, err := g.Solve(); err != nil {
-		return fmt.Errorf("opt: FOO flow solve: %w", err)
+	sc.bypass = bypass
+
+	if _, err := sc.solver.Solve(g); err != nil {
+		return fmt.Errorf("FOO flow solve: %w", err)
 	}
-	for k, iv := range selected {
+	for k, iv := range sg.ivs {
 		// Cached iff no byte bypassed the cache (§2.1: "verify that all
 		// the request's bytes are routed along the central path").
 		res.Admit[iv.from] = g.Flow(bypass[k]) == 0
 	}
-	repairSchedule(tr, selected, cfg, res)
+	repairSegment(sg, cfg, res, sc)
 	return nil
 }
 
-// repairSchedule greedily re-admits intervals the flow extraction left
+// repairSegment greedily re-admits intervals the flow extraction left
 // out. Min-cost flow optima can split an interval's bytes between the
 // cache and the bypass (footnote 2 of the paper); the all-bytes-central
 // extraction rule then discards the interval even when fully caching it
 // would have been feasible. The repair replays occupancy of the admitted
-// set and adds any remaining interval, highest C/(S·L) rank first, that
-// fits at every time step. The result is feasible and never worse than the
-// raw extraction.
-func repairSchedule(tr *trace.Trace, selected []interval, cfg Config, res *Result) {
-	occ := newSegTree(tr.Len())
-	var rest []interval
-	for _, iv := range selected {
+// set on top of the boundary reservation already in sc.occ and adds any
+// remaining interval, highest C/(S·L) rank first, that fits at every time
+// step. The result is feasible and never worse than the raw extraction.
+func repairSegment(sg *segment, cfg Config, res *Result, sc *solveScratch) {
+	rest := sc.rest[:0]
+	for _, iv := range sg.ivs {
 		if res.Admit[iv.from] {
-			occ.Add(iv.from, iv.to, iv.size)
+			sc.occ.Add(iv.from-sg.lo, iv.to-sg.lo, iv.size)
 		} else {
 			rest = append(rest, iv)
 		}
 	}
-	sort.Slice(rest, func(a, b int) bool {
-		if rest[a].rank != rest[b].rank {
-			return rest[a].rank > rest[b].rank
-		}
-		return rest[a].from < rest[b].from
-	})
+	sortByRank(rest)
 	for _, iv := range rest {
-		if occ.Max(iv.from, iv.to)+iv.size <= cfg.CacheSize {
-			occ.Add(iv.from, iv.to, iv.size)
+		if sc.occ.Max(iv.from-sg.lo, iv.to-sg.lo)+iv.size <= cfg.CacheSize {
+			sc.occ.Add(iv.from-sg.lo, iv.to-sg.lo, iv.size)
 			res.Admit[iv.from] = true
 		}
 	}
+	sc.rest = rest[:0]
 }

@@ -1,37 +1,27 @@
 package opt
 
-import (
-	"sort"
-
-	"lfo/internal/trace"
-)
-
-// solveGreedy computes a feasible OPT approximation in the spirit of
-// PFOO: intervals are considered in decreasing C/(S·L) rank order and
-// admitted when the object fits in the cache over the interval's entire
-// time span. Occupancy over time is tracked with a lazy segment tree, so
-// each admission check is O(log n).
+// greedySegment computes a feasible OPT approximation in the spirit of
+// PFOO over one segment: intervals are considered in decreasing C/(S·L)
+// rank order and admitted when the object fits in the cache over the
+// interval's entire time span. Occupancy over time is tracked with a lazy
+// segment tree (pre-seeded with stitched boundary reservations), so each
+// admission check is O(log n).
 //
 // Unlike the flow relaxation, the greedy schedule is feasible — it
 // corresponds to an actual cache content assignment — so its hit ratio
 // lower-bounds OPT while remaining within a few percent on CDN-like
 // workloads.
-func solveGreedy(tr *trace.Trace, selected []interval, cfg Config, res *Result) {
-	ivs := append([]interval(nil), selected...)
-	sort.Slice(ivs, func(a, b int) bool {
-		if ivs[a].rank != ivs[b].rank {
-			return ivs[a].rank > ivs[b].rank
-		}
-		return ivs[a].from < ivs[b].from // deterministic tie-break
-	})
-	occ := newSegTree(tr.Len())
+func greedySegment(sg *segment, cfg Config, res *Result, sc *solveScratch) {
+	ivs := append(sc.rest[:0], sg.ivs...)
+	sortByRank(ivs)
 	for _, iv := range ivs {
 		// The object occupies cache space during [from, to): it must be
 		// resident the instant request `from` completes and until
 		// request `to` arrives.
-		if occ.Max(iv.from, iv.to)+iv.size <= cfg.CacheSize {
-			occ.Add(iv.from, iv.to, iv.size)
+		if sc.occ.Max(iv.from-sg.lo, iv.to-sg.lo)+iv.size <= cfg.CacheSize {
+			sc.occ.Add(iv.from-sg.lo, iv.to-sg.lo, iv.size)
 			res.Admit[iv.from] = true
 		}
 	}
+	sc.rest = ivs[:0]
 }

@@ -67,11 +67,33 @@ type Config struct {
 	// CostScale converts fractional per-byte costs to the integral costs
 	// the flow solver needs. Zero means 1024.
 	CostScale int64
-	// AutoFlowLimit is the interval count up to which AlgoAuto uses the
-	// exact flow solver; larger instances fall back to the feasible
-	// greedy (the successive-shortest-path solve grows super-linearly in
-	// the interval count). Zero means 12000.
+	// AutoFlowLimit is the interval count up to which a single segment is
+	// solved with the exact flow solver (the successive-shortest-path
+	// solve grows super-linearly in the interval count). With Segments=0
+	// it is also the window size above which the solve auto-segments;
+	// under AlgoAuto a segment that still exceeds the limit (only
+	// possible when Segments forces very few cuts) falls back to the
+	// feasible greedy for that segment alone. Zero means 12000.
 	AutoFlowLimit int
+	// Segments controls PFOO-style time-axis segmentation of the solve
+	// (Berger/Beckmann/Harchol-Balter: the FOO flow problem decomposes
+	// at low-occupancy points on the time axis). The window's intervals
+	// are partitioned at low-crossing cut points, each segment's flow is
+	// solved independently (concurrently under Workers), and intervals
+	// that span a cut are stitched deterministically by rank-order
+	// greedy admission before the segment solves. 0 (auto) keeps one
+	// segment up to AutoFlowLimit intervals and targets ~4000 intervals
+	// per segment beyond; 1 forces the unsegmented whole-window solve;
+	// values > 1 request that many segments (best effort — cuts are
+	// placed near equal-interval-count positions).
+	Segments int
+	// Workers caps the goroutines used for concurrent segment solves:
+	// 0 means all available cores, 1 solves segments sequentially. The
+	// result is byte-identical for every value — segmentation depends
+	// only on the trace and the config, and each segment writes a
+	// disjoint part of the result (same determinism bar as the training
+	// pipeline's Workers knob).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -109,11 +131,45 @@ type Result struct {
 	// compulsory first-request misses.
 	MissCost float64
 	// Solved is the number of intervals given to the solver (after rank
-	// selection).
+	// selection); Intervals - Solved intervals were dropped unsolved.
 	Solved int
 	// Intervals is the total number of intervals (requests with a next
 	// request).
 	Intervals int
+	// Segments is the number of time-axis segments the solve used
+	// (0 when no intervals were selected).
+	Segments int
+	// FlowSegments and GreedySegments count the segments labeled by the
+	// exact flow solver and by the feasible greedy, respectively.
+	FlowSegments   int
+	GreedySegments int
+	// FlowIntervals and GreedyIntervals count selected intervals labeled
+	// by each solver; intervals stitched across segment cuts count as
+	// greedy. FlowIntervals + GreedyIntervals == Solved.
+	FlowIntervals   int
+	GreedyIntervals int
+	// BoundaryIntervals counts intervals that crossed a segment cut and
+	// were therefore stitched greedily rather than solved exactly.
+	BoundaryIntervals int
+}
+
+// DroppedIntervals returns the intervals excluded by rank selection and
+// declared uncached without solving.
+func (r *Result) DroppedIntervals() int { return r.Intervals - r.Solved }
+
+// AlgoLabel reports which solver(s) actually produced the labels:
+// "flow", "greedy", "flow+greedy", or "none" (no intervals).
+func (r *Result) AlgoLabel() string {
+	switch {
+	case r.FlowIntervals > 0 && r.GreedyIntervals > 0:
+		return "flow+greedy"
+	case r.FlowIntervals > 0:
+		return "flow"
+	case r.GreedyIntervals > 0:
+		return "greedy"
+	default:
+		return "none"
+	}
 }
 
 // BHR returns the byte hit ratio achieved by OPT's schedule.
@@ -191,26 +247,13 @@ func Compute(tr *trace.Trace, cfg Config) (*Result, error) {
 	selected := selectByRank(ivs, cfg.RankFraction)
 	res.Solved = len(selected)
 
-	algo := cfg.Algorithm
-	if algo == AlgoAuto {
-		if len(selected) <= cfg.AutoFlowLimit {
-			algo = AlgoFlow
-		} else {
-			algo = AlgoGreedy
+	switch cfg.Algorithm {
+	case AlgoAuto, AlgoFlow, AlgoGreedy:
+		if err := solveSegmented(tr, selected, cfg, res); err != nil {
+			return nil, err
 		}
-	}
-
-	var err error
-	switch algo {
-	case AlgoFlow:
-		err = solveFlow(tr, selected, cfg, res)
-	case AlgoGreedy:
-		solveGreedy(tr, selected, cfg, res)
 	default:
-		err = fmt.Errorf("opt: unknown algorithm %v", algo)
-	}
-	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("opt: unknown algorithm %v", cfg.Algorithm)
 	}
 
 	// Derive hits and miss cost from the admission schedule.

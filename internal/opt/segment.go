@@ -1,0 +1,302 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"lfo/internal/mcf"
+	"lfo/internal/par"
+)
+
+// Segmented solve (the PFOO decomposition). The FOO min-cost flow only
+// couples intervals through the shared cache capacity over time, so the
+// window decomposes along the time axis: cut the request sequence at
+// points few intervals cross, solve each segment's flow independently,
+// and stitch the intervals that span a cut with the rank-order greedy.
+// Because the cuts, the stitching order, and each segment's solve depend
+// only on the trace and the config — never on scheduling — the result is
+// byte-identical for any Workers value.
+
+// autoSegmentIntervals is the per-segment interval target when Segments=0
+// auto-segments a window larger than AutoFlowLimit. The successive-
+// shortest-path solve grows super-quadratically in the interval count, so
+// many moderate segments beat one big solve even on a single core. The
+// target trades exactness against time: smaller segments cut more
+// intervals (each stitched greedily instead of solved), larger ones blow
+// up the per-segment solve. ~4000 keeps a segment solve around half a
+// second while labeling the majority of a 100k+-interval window exactly.
+const autoSegmentIntervals = 4000
+
+// segment is one time-axis slice of the window: the request span [lo, hi)
+// plus the selected intervals fully contained in it.
+type segment struct {
+	lo, hi int
+	ivs    []interval // contained intervals, sorted by from
+	bnd    []interval // admitted boundary intervals overlapping the span
+	greedy bool       // true when this segment uses the greedy fallback
+}
+
+// solveSegmented partitions the selected intervals into time-axis
+// segments, stitches boundary intervals, and solves the segments
+// concurrently, writing admissions and label stats into res.
+func solveSegmented(tr trLike, selected []interval, cfg Config, res *Result) error {
+	if len(selected) == 0 {
+		return nil
+	}
+	n := tr.Len()
+
+	// Normalize to from-order: froms are unique (one interval per request
+	// index), so this is a strict total order independent of how rank
+	// selection permuted the slice.
+	ivs := append([]interval(nil), selected...)
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].from < ivs[b].from })
+
+	segs, boundary := planSegments(n, ivs, cfg)
+	res.Segments = len(segs)
+	res.BoundaryIntervals = len(boundary)
+
+	// Stitch boundary intervals first: admit them greedily in rank order
+	// against a whole-window occupancy tree, so every segment then sees
+	// the same reserved bytes. This runs before (and independent of) the
+	// parallel phase — in-order, deterministic.
+	if len(boundary) > 0 {
+		sortByRank(boundary)
+		occ := newSegTree(n)
+		admitted := boundary[:0] // reuse: admitted is a prefix-filtered view
+		for _, iv := range boundary {
+			if occ.Max(iv.from, iv.to)+iv.size <= cfg.CacheSize {
+				occ.Add(iv.from, iv.to, iv.size)
+				res.Admit[iv.from] = true
+				admitted = append(admitted, iv)
+			}
+		}
+		distributeBoundary(segs, admitted)
+	}
+
+	// Per-segment solver choice. Only AlgoAuto may fall back to greedy,
+	// and only for segments whose interval count exceeds AutoFlowLimit
+	// (possible when Segments forces fewer cuts than auto would pick).
+	for i := range segs {
+		switch cfg.Algorithm {
+		case AlgoGreedy:
+			segs[i].greedy = true
+		case AlgoAuto:
+			segs[i].greedy = len(segs[i].ivs) > cfg.AutoFlowLimit
+		}
+	}
+
+	// Solve segments concurrently. Each chunk of segments shares one
+	// scratch set (graph arena, solver state, occupancy tree); each
+	// segment writes only its own intervals' Admit slots and its own
+	// error slot, so the parallel phase is race-free and byte-identical
+	// for any worker count.
+	errs := make([]error, len(segs))
+	par.Ranges(len(segs), cfg.Workers, 1, func(lo, hi int) {
+		sc := newSolveScratch()
+		for s := lo; s < hi; s++ {
+			errs[s] = solveSegment(&segs[s], cfg, res, sc)
+		}
+	})
+	for s, err := range errs {
+		if err != nil {
+			return fmt.Errorf("opt: segment %d [%d,%d): %w", s, segs[s].lo, segs[s].hi, err)
+		}
+	}
+
+	// Reduce label stats in segment order.
+	for i := range segs {
+		if segs[i].greedy {
+			res.GreedySegments++
+			res.GreedyIntervals += len(segs[i].ivs)
+		} else {
+			res.FlowSegments++
+			res.FlowIntervals += len(segs[i].ivs)
+		}
+	}
+	res.GreedyIntervals += len(boundary) // stitched greedily
+	return nil
+}
+
+// trLike is the slice of trace.Trace the solver needs; it keeps the
+// segmented solver testable without building full traces.
+type trLike interface{ Len() int }
+
+// planSegments picks the segment count, the cut points, and partitions
+// the from-sorted intervals into contained-per-segment and boundary sets.
+func planSegments(n int, ivs []interval, cfg Config) ([]segment, []interval) {
+	target := segmentCount(len(ivs), cfg)
+	cuts := chooseCuts(n, ivs, target)
+	bounds := make([]int, 0, len(cuts)+2)
+	bounds = append(bounds, 0)
+	bounds = append(bounds, cuts...)
+	bounds = append(bounds, n)
+
+	segs := make([]segment, len(bounds)-1)
+	for i := range segs {
+		segs[i].lo, segs[i].hi = bounds[i], bounds[i+1]
+	}
+	var boundary []interval
+	si := 0
+	for _, iv := range ivs {
+		for iv.from >= segs[si].hi {
+			si++
+		}
+		if iv.to <= segs[si].hi {
+			segs[si].ivs = append(segs[si].ivs, iv)
+		} else {
+			boundary = append(boundary, iv)
+		}
+	}
+	return segs, boundary
+}
+
+// segmentCount resolves the Segments knob to a target segment count.
+func segmentCount(nIntervals int, cfg Config) int {
+	s := cfg.Segments
+	if s <= 0 {
+		if nIntervals <= cfg.AutoFlowLimit {
+			return 1
+		}
+		s = (nIntervals + autoSegmentIntervals - 1) / autoSegmentIntervals
+	}
+	if s > nIntervals {
+		s = nIntervals
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// chooseCuts picks up to segments-1 interior cut times in (0, n), each
+// minimizing the number of intervals crossing it. Ideal positions split
+// the intervals into equal-count runs; each cut searches a bounded window
+// around its ideal position for the minimum-crossing time, breaking ties
+// toward the time closest to the ideal and then toward the smaller time,
+// so the cuts are a pure function of the intervals and the config.
+func chooseCuts(n int, ivs []interval, segments int) []int {
+	if segments <= 1 || len(ivs) == 0 || n <= 1 {
+		return nil
+	}
+	// crossing[t] = #intervals with from < t < to, built as a difference
+	// array and prefix-summed.
+	crossing := make([]int32, n+1)
+	for _, iv := range ivs {
+		if iv.from+1 < iv.to {
+			crossing[iv.from+1]++
+			crossing[iv.to]--
+		}
+	}
+	for t := 1; t <= n; t++ {
+		crossing[t] += crossing[t-1]
+	}
+
+	radius := n / (4 * segments)
+	if radius < 1 {
+		radius = 1
+	}
+	cuts := make([]int, 0, segments-1)
+	prev := 0
+	for k := 1; k < segments; k++ {
+		ideal := ivs[k*len(ivs)/segments].from
+		lo := ideal - radius
+		if lo <= prev {
+			lo = prev + 1
+		}
+		hi := ideal + radius
+		if hi >= n {
+			hi = n - 1
+		}
+		if lo > hi {
+			continue // no room left for this cut; merge with neighbor
+		}
+		bestT := -1
+		var best int32
+		for t := lo; t <= hi; t++ {
+			c := crossing[t]
+			if bestT < 0 || c < best ||
+				(c == best && absInt(t-ideal) < absInt(bestT-ideal)) {
+				best, bestT = c, t
+			}
+		}
+		cuts = append(cuts, bestT)
+		prev = bestT
+	}
+	return cuts
+}
+
+// distributeBoundary hands each admitted boundary interval to every
+// segment whose span it overlaps, so segment solves can subtract the
+// reserved bytes from their local capacity profile.
+func distributeBoundary(segs []segment, admitted []interval) {
+	for _, iv := range admitted {
+		// First segment whose span extends past the interval start.
+		s := sort.Search(len(segs), func(i int) bool { return segs[i].hi > iv.from })
+		for ; s < len(segs) && segs[s].lo < iv.to; s++ {
+			segs[s].bnd = append(segs[s].bnd, iv)
+		}
+	}
+}
+
+// sortByRank orders intervals by descending C/(S·L) rank with the
+// deterministic from-ascending tie-break shared by every greedy pass.
+func sortByRank(ivs []interval) {
+	sort.Slice(ivs, func(a, b int) bool {
+		if ivs[a].rank != ivs[b].rank {
+			return ivs[a].rank > ivs[b].rank
+		}
+		return ivs[a].from < ivs[b].from
+	})
+}
+
+// solveScratch is the reusable per-worker state for segment solves: the
+// flow graph arena, the SSP solver scratch, the local occupancy tree, and
+// the endpoint/bypass/repair buffers. One scratch serves all segments of
+// a worker's chunk, so repeated window solves stop reallocating.
+type solveScratch struct {
+	g      *mcf.Graph
+	solver *mcf.Solver
+	occ    *segTree
+	idx    []int
+	bypass []int
+	rest   []interval
+}
+
+func newSolveScratch() *solveScratch {
+	return &solveScratch{
+		g:      mcf.NewGraph(0),
+		solver: mcf.NewSolver(),
+		occ:    newSegTree(1),
+	}
+}
+
+// solveSegment labels one segment's intervals, seeding the local
+// occupancy tree with the boundary bytes reserved across its span.
+func solveSegment(sg *segment, cfg Config, res *Result, sc *solveScratch) error {
+	if len(sg.ivs) == 0 {
+		return nil
+	}
+	sc.occ.reset(sg.hi - sg.lo)
+	for _, b := range sg.bnd {
+		lo, hi := b.from, b.to
+		if lo < sg.lo {
+			lo = sg.lo
+		}
+		if hi > sg.hi {
+			hi = sg.hi
+		}
+		sc.occ.Add(lo-sg.lo, hi-sg.lo, b.size)
+	}
+	if sg.greedy {
+		greedySegment(sg, cfg, res, sc)
+		return nil
+	}
+	return flowSegment(sg, cfg, res, sc)
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,7 +1,6 @@
 package policy
 
 import (
-	"container/list"
 	"math/rand"
 
 	"lfo/internal/pq"
@@ -48,15 +47,16 @@ func (p *Random) Request(r trace.Request) bool {
 	return false
 }
 
-// FIFO evicts in insertion order.
+// FIFO evicts in insertion order. The queue is threaded through the store
+// entries, so admissions reuse recycled entries instead of allocating.
 type FIFO struct {
-	store *sim.Store[*list.Element]
-	queue *list.List // front = oldest
+	store *sim.Store[links]
+	queue entryList // head = oldest
 }
 
 // NewFIFO returns a first-in-first-out cache.
 func NewFIFO(capacity int64) *FIFO {
-	return &FIFO{store: sim.NewStore[*list.Element](capacity), queue: list.New()}
+	return &FIFO{store: sim.NewStore[links](capacity)}
 }
 
 // Name implements sim.Policy.
@@ -71,25 +71,25 @@ func (p *FIFO) Request(r trace.Request) bool {
 		return false
 	}
 	for !p.store.Fits(r.Size) {
-		oldest := p.queue.Front()
-		id := oldest.Value.(trace.ObjectID)
-		p.queue.Remove(oldest)
-		p.store.Remove(id)
+		oldest := p.queue.head
+		p.queue.remove(oldest)
+		p.store.Remove(oldest.ID)
 	}
-	e := p.store.Add(r.ID, r.Size)
-	e.Payload = p.queue.PushBack(r.ID)
+	p.queue.pushBack(p.store.Add(r.ID, r.Size))
 	return false
 }
 
-// LRU evicts the least recently used object.
+// LRU evicts the least recently used object. The recency list is threaded
+// through the store entries, so admissions reuse recycled entries instead
+// of allocating.
 type LRU struct {
-	store *sim.Store[*list.Element]
-	lru   *list.List // front = most recent
+	store *sim.Store[links]
+	lru   entryList // head = most recent
 }
 
 // NewLRU returns a least-recently-used cache.
 func NewLRU(capacity int64) *LRU {
-	return &LRU{store: sim.NewStore[*list.Element](capacity), lru: list.New()}
+	return &LRU{store: sim.NewStore[links](capacity)}
 }
 
 // Name implements sim.Policy.
@@ -98,20 +98,18 @@ func (p *LRU) Name() string { return "LRU" }
 // Request implements sim.Policy.
 func (p *LRU) Request(r trace.Request) bool {
 	if e := p.store.Get(r.ID); e != nil {
-		p.lru.MoveToFront(e.Payload)
+		p.lru.moveToFront(e)
 		return true
 	}
 	if r.Size > p.store.Capacity() {
 		return false
 	}
 	for !p.store.Fits(r.Size) {
-		tail := p.lru.Back()
-		id := tail.Value.(trace.ObjectID)
-		p.lru.Remove(tail)
-		p.store.Remove(id)
+		tail := p.lru.tail
+		p.lru.remove(tail)
+		p.store.Remove(tail.ID)
 	}
-	e := p.store.Add(r.ID, r.Size)
-	e.Payload = p.lru.PushFront(r.ID)
+	p.lru.pushFront(p.store.Add(r.ID, r.Size))
 	return false
 }
 

@@ -1,0 +1,60 @@
+package policy
+
+import "lfo/internal/sim"
+
+// links threads an intrusive doubly-linked list through store entry
+// payloads, so recency/insertion-order policies need no per-request node
+// allocation: the store recycles entries, and the list rides along.
+type links struct {
+	prev, next *sim.StoreEntry[links]
+}
+
+// entryList is the list head/tail over link-threaded store entries.
+// Entries must be unlinked (remove) before sim.Store.Remove recycles them.
+type entryList struct {
+	head, tail *sim.StoreEntry[links]
+}
+
+func (l *entryList) pushFront(e *sim.StoreEntry[links]) {
+	e.Payload.prev = nil
+	e.Payload.next = l.head
+	if l.head != nil {
+		l.head.Payload.prev = e
+	} else {
+		l.tail = e
+	}
+	l.head = e
+}
+
+func (l *entryList) pushBack(e *sim.StoreEntry[links]) {
+	e.Payload.next = nil
+	e.Payload.prev = l.tail
+	if l.tail != nil {
+		l.tail.Payload.next = e
+	} else {
+		l.head = e
+	}
+	l.tail = e
+}
+
+func (l *entryList) remove(e *sim.StoreEntry[links]) {
+	if e.Payload.prev != nil {
+		e.Payload.prev.Payload.next = e.Payload.next
+	} else {
+		l.head = e.Payload.next
+	}
+	if e.Payload.next != nil {
+		e.Payload.next.Payload.prev = e.Payload.prev
+	} else {
+		l.tail = e.Payload.prev
+	}
+	e.Payload.prev, e.Payload.next = nil, nil
+}
+
+func (l *entryList) moveToFront(e *sim.StoreEntry[links]) {
+	if l.head == e {
+		return
+	}
+	l.remove(e)
+	l.pushFront(e)
+}

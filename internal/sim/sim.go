@@ -88,6 +88,11 @@ type Options struct {
 // Run replays the trace against the policy and returns metrics.
 func Run(tr *trace.Trace, p Policy, opts Options) *Metrics {
 	m := &Metrics{Policy: p.Name()}
+	if opts.WindowSize > 0 {
+		if n := len(tr.Requests) - opts.Warmup; n > 0 {
+			m.Windows = make([]WindowMetrics, 0, (n+opts.WindowSize-1)/opts.WindowSize)
+		}
+	}
 	var cur *WindowMetrics
 	for i, r := range tr.Requests {
 		hit := p.Request(r)

@@ -20,6 +20,9 @@ type Store[T any] struct {
 	capacity int64
 	used     int64
 	entries  map[trace.ObjectID]*StoreEntry[T]
+	// freed entries recycled by Add; bounds steady-state allocation to the
+	// peak resident count instead of one allocation per admission.
+	free []*StoreEntry[T]
 }
 
 // StoreEntry is one resident object with the policy's payload.
@@ -62,7 +65,8 @@ func (s *Store[T]) Has(id trace.ObjectID) bool {
 
 // Add inserts an object and returns its entry. It panics if the object is
 // already resident or larger than the capacity; callers must evict first
-// if Free() < size.
+// if Free() < size. The entry may be recycled from an earlier Remove, so
+// callers must not retain entry pointers past the object's eviction.
 func (s *Store[T]) Add(id trace.ObjectID, size int64) *StoreEntry[T] {
 	if _, ok := s.entries[id]; ok {
 		panic(fmt.Sprintf("sim: double add of object %d", id))
@@ -70,7 +74,15 @@ func (s *Store[T]) Add(id trace.ObjectID, size int64) *StoreEntry[T] {
 	if size > s.capacity {
 		panic(fmt.Sprintf("sim: object %d size %d exceeds capacity %d", id, size, s.capacity))
 	}
-	e := &StoreEntry[T]{ID: id, Size: size}
+	var e *StoreEntry[T]
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+		var zero T
+		e.ID, e.Size, e.Payload = id, size, zero
+	} else {
+		e = &StoreEntry[T]{ID: id, Size: size}
+	}
 	s.entries[id] = e
 	s.used += size
 	return e
@@ -84,6 +96,7 @@ func (s *Store[T]) Remove(id trace.ObjectID) {
 	}
 	delete(s.entries, id)
 	s.used -= e.Size
+	s.free = append(s.free, e)
 }
 
 // Fits reports whether an object of the given size could be admitted

@@ -17,7 +17,7 @@ benchtime=${BENCHTIME:-1s}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-bench='^(BenchmarkGBDTTrain|BenchmarkGBDTPredict|BenchmarkFeatureTracking|BenchmarkSimulatorRun|BenchmarkLFOCacheRequest)$'
+bench='^(BenchmarkGBDTTrain|BenchmarkGBDTPredict|BenchmarkFeatureTracking|BenchmarkSimulatorRun|BenchmarkLFOCacheRequest|BenchmarkOPTCompute)$'
 
 echo "== go test -bench (this takes a few minutes)"
 go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" -cpu 1,4 . | tee "$raw"

@@ -34,6 +34,7 @@ go test ./...
 
 step "go test -race (concurrent packages)"
 go test -race ./internal/server ./internal/tiered ./internal/sim \
-    ./internal/par ./internal/gbdt ./internal/features ./internal/core
+    ./internal/par ./internal/gbdt ./internal/features ./internal/core \
+    ./internal/opt ./internal/mcf
 
 echo "ALL CHECKS PASSED"
