@@ -359,6 +359,30 @@ func BenchmarkLFOCacheRequest(b *testing.B) {
 	}
 }
 
+// BenchmarkLFORequestObs compares the request hot path with metrics off
+// (nil registry) and on. Run with -benchmem: the instrumented variant must
+// show 0 extra B/op and allocs/op over the baseline — recording is atomic
+// adds only.
+func BenchmarkLFORequestObs(b *testing.B) {
+	tr := benchTrace(b, 50000)
+	for _, v := range []struct {
+		name string
+		reg  *MetricsRegistry
+	}{{"baseline", nil}, {"instrumented", NewMetricsRegistry()}} {
+		b.Run(v.name, func(b *testing.B) {
+			cache, err := NewCache(CacheConfig{CacheSize: 32 << 20, WindowSize: 1 << 30, Obs: v.reg}) // no retrain inside the loop
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cache.Request(tr.Requests[i%tr.Len()])
+			}
+		})
+	}
+}
+
 func BenchmarkSimulatorRun(b *testing.B) {
 	tr := benchTrace(b, 50000)
 	b.ResetTimer()

@@ -18,6 +18,7 @@ import (
 
 	"lfo/internal/cliutil"
 	"lfo/internal/experiments"
+	"lfo/internal/obs"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		sizeStr = flag.String("size", "", "override cache size (e.g. 64m)")
 		reqs    = flag.Int("n", 0, "override trace length")
 		workers = flag.Int("workers", 0, "goroutines for LFO training/scoring and OPT labeling: 0=all cores, 1=sequential")
+		showObs = flag.Bool("obs", false, "print the observability snapshot (internal/obs counters) after the figures")
 	)
 	flag.Parse()
 
@@ -44,6 +46,11 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	var reg *obs.Registry
+	if *showObs {
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
+	}
 	if *sizeStr != "" {
 		size, err := cliutil.ParseBytes(*sizeStr)
 		if err != nil || size <= 0 {
@@ -188,6 +195,12 @@ func main() {
 
 	if !ran {
 		fatalf("unknown -fig %q (want 1, 5a, 5b, 5c, 6, 7, 8, acc, tiered, robust, ablate or all)", *fig)
+	}
+	if reg != nil {
+		fmt.Println("observability snapshot:")
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			fatalf("write snapshot: %v", err)
+		}
 	}
 }
 

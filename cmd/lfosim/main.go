@@ -18,6 +18,7 @@ import (
 	"lfo/internal/cliutil"
 	"lfo/internal/core"
 	"lfo/internal/gen"
+	"lfo/internal/obs"
 	"lfo/internal/opt"
 	"lfo/internal/policy"
 	"lfo/internal/sim"
@@ -38,6 +39,7 @@ func main() {
 		window    = flag.Int("window", 50000, "LFO training window (with -policy lfo)")
 		workers   = flag.Int("workers", 0, "goroutines for LFO training/scoring and OPT labeling: 0=all cores, 1=sequential")
 		series    = flag.Int("series", 0, "also print per-window metrics every N requests")
+		showObs   = flag.Bool("obs", false, "print the observability snapshot (internal/obs counters) after the run")
 	)
 	flag.Parse()
 
@@ -62,7 +64,11 @@ func main() {
 	}
 	tr = tr.WithCosts(obj)
 
-	opts := sim.Options{Warmup: *warmup, WindowSize: *series}
+	var reg *obs.Registry
+	if *showObs {
+		reg = obs.NewRegistry()
+	}
+	opts := sim.Options{Warmup: *warmup, WindowSize: *series, Obs: reg}
 	names := []string{*name}
 	if *name == "all" {
 		names = append(policy.Names(), "lfo")
@@ -70,7 +76,7 @@ func main() {
 
 	var results []*sim.Metrics
 	for _, pn := range names {
-		p, err := makePolicy(pn, size, *seed, *window, *workers)
+		p, err := makePolicy(pn, size, *seed, *window, *workers, reg)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -85,7 +91,13 @@ func main() {
 	for _, m := range results {
 		fmt.Printf("%-12s %8.4f %8.4f %12.0f\n", m.Policy, m.BHR(), m.OHR(), m.MissCost)
 		for _, w := range m.Windows {
-			fmt.Printf("  window@%-8d BHR=%.4f OHR=%.4f\n", w.Start, w.BHR(), w.OHR())
+			fmt.Printf("  window@%-8d BHR=%.4f OHR=%.4f misscost=%.0f\n", w.Start, w.BHR(), w.OHR(), w.MissCost)
+		}
+	}
+	if reg != nil {
+		fmt.Println("observability snapshot:")
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			fatalf("write snapshot: %v", err)
 		}
 	}
 }
@@ -107,13 +119,14 @@ func loadTrace(path, mix string, n int, seed int64) (*trace.Trace, error) {
 	}
 }
 
-func makePolicy(name string, size, seed int64, window, workers int) (sim.Policy, error) {
+func makePolicy(name string, size, seed int64, window, workers int, reg *obs.Registry) (sim.Policy, error) {
 	if name == "lfo" {
 		return core.New(core.Config{
 			CacheSize:  size,
 			WindowSize: window,
 			OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
 			Workers:    workers,
+			Obs:        reg,
 		})
 	}
 	return policy.New(name, size, seed)

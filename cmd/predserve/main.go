@@ -6,11 +6,16 @@
 //
 //	predserve -addr :7070 -model model.gob
 //	predserve -addr :7070 -train-gen cdn -n 50000 -size 64m
+//	predserve -addr :7070 -train-gen cdn -debug.addr 127.0.0.1:7071
+//
+// With -debug.addr set, a second HTTP listener serves /metrics (flat
+// "name value" text), /debug/vars (expvar), and /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -19,6 +24,7 @@ import (
 	"lfo/internal/core"
 	"lfo/internal/gbdt"
 	"lfo/internal/gen"
+	"lfo/internal/obs"
 	"lfo/internal/opt"
 	"lfo/internal/server"
 	"lfo/internal/trace"
@@ -26,15 +32,17 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
-		modelPath = flag.String("model", "", "load a model saved with Model.Save")
-		trainFile = flag.String("train-trace", "", "train a model from this trace file")
-		trainGen  = flag.String("train-gen", "", "train a model from a generated trace: cdn or web")
-		n         = flag.Int("n", 50000, "generated training trace length")
-		seed      = flag.Int64("seed", 1, "generator seed")
-		sizeStr   = flag.String("size", "64m", "cache size used for OPT labels")
-		workers   = flag.Int("workers", 0, "prediction parallelism per request batch (0 = serial)")
-		saveModel = flag.String("save-model", "", "after training, save the model here")
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
+		debugAddr  = flag.String("debug.addr", "", "optional HTTP listener for /metrics, /debug/vars and /debug/pprof")
+		modelPath  = flag.String("model", "", "load a model saved with Model.Save")
+		trainFile  = flag.String("train-trace", "", "train a model from this trace file")
+		trainGen   = flag.String("train-gen", "", "train a model from a generated trace: cdn or web")
+		n          = flag.Int("n", 50000, "generated training trace length")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		sizeStr    = flag.String("size", "64m", "cache size used for OPT labels")
+		workers    = flag.Int("workers", 0, "prediction parallelism per request batch (0 = serial)")
+		maxTracked = flag.Int("max-tracked", 0, "per-connection admit tracker bound in objects (0 = default 1<<22, negative = unbounded)")
+		saveModel  = flag.String("save-model", "", "after training, save the model here")
 	)
 	flag.Parse()
 
@@ -56,12 +64,21 @@ func main() {
 		fmt.Printf("model saved to %s\n", *saveModel)
 	}
 
-	srv := server.New(model, *workers)
+	srv, dbg, err := buildServer(model, *workers, *maxTracked, *debugAddr)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("predserve: %d trees, listening on %s\n", model.NumTrees(), bound)
+	if dbg != nil {
+		fmt.Printf("predserve: debug endpoints on http://%s/metrics\n", dbg.addr)
+		defer func() {
+			_ = dbg.stop() // shutdown path; nothing actionable on error
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -70,6 +87,30 @@ func main() {
 	if err := srv.Close(); err != nil {
 		fatalf("close: %v", err)
 	}
+}
+
+// debugListener is a running -debug.addr HTTP listener.
+type debugListener struct {
+	addr net.Addr
+	stop func() error
+}
+
+// buildServer assembles the prediction server and, when debugAddr is
+// non-empty, an obs registry plus its debug HTTP listener. Split from
+// main so tests can exercise the exact wiring the flags produce.
+func buildServer(model *gbdt.Model, workers, maxTracked int, debugAddr string) (*server.Server, *debugListener, error) {
+	srv := server.New(model, workers)
+	srv.MaxTrackedObjects = maxTracked
+	if debugAddr == "" {
+		return srv, nil, nil
+	}
+	reg := obs.NewRegistry()
+	srv.Obs = reg
+	addr, stop, err := obs.ServeDebug(debugAddr, reg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("debug listener: %w", err)
+	}
+	return srv, &debugListener{addr: addr, stop: stop}, nil
 }
 
 func obtainModel(modelPath, trainFile, trainGen string, n int, seed int64, sizeStr string) (*gbdt.Model, error) {

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"lfo/internal/features"
+	"lfo/internal/gbdt"
+	"lfo/internal/server"
+)
+
+// TestDebugAddrServesLiveCounts exercises the exact wiring -debug.addr
+// produces: the debug listener must serve /metrics, /debug/vars and
+// /debug/pprof/ with live counters after one Predict and one Admit
+// round-trip.
+func TestDebugAddrServesLiveCounts(t *testing.T) {
+	model := &gbdt.Model{Dim: features.Dim, BaseScore: 1}
+	srv, dbg, err := buildServer(model, 1, 0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbg == nil {
+		t.Fatal("no debug listener for a non-empty -debug.addr")
+	}
+	t.Cleanup(func() {
+		if err := dbg.stop(); err != nil {
+			t.Errorf("debug stop: %v", err)
+		}
+	})
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	c, err := server.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Predict(make([]float64, 2*features.Dim)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Admit([]server.AdmitRequest{{Time: 1, ID: 3, Size: 64, Cost: 64, Free: 1 << 20}}); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + dbg.addr.String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"server_predict_requests_total 1",
+		"server_predict_rows_total 2",
+		"server_admit_requests_total 1",
+	} {
+		if !strings.Contains(metrics, want+"\n") {
+			t.Errorf("/metrics missing %q; got:\n%s", want, metrics)
+		}
+	}
+
+	var vars struct {
+		LFO map[string]int64 `json:"lfo"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars.LFO["server_admit_rows_total"] != 1 {
+		t.Errorf("/debug/vars server_admit_rows_total = %d, want 1", vars.LFO["server_admit_rows_total"])
+	}
+
+	if !strings.Contains(get("/debug/pprof/"), "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+}
+
+// TestBuildServerWithoutDebugAddr: no -debug.addr means no registry and
+// no listener.
+func TestBuildServerWithoutDebugAddr(t *testing.T) {
+	model := &gbdt.Model{Dim: features.Dim}
+	srv, dbg, err := buildServer(model, 1, 7, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbg != nil {
+		t.Error("debug listener created without -debug.addr")
+	}
+	if srv.Obs != nil {
+		t.Error("registry created without -debug.addr")
+	}
+	if srv.MaxTrackedObjects != 7 {
+		t.Errorf("MaxTrackedObjects = %d, want 7", srv.MaxTrackedObjects)
+	}
+}

@@ -13,6 +13,13 @@ import (
 // every stage's result in serialized form.
 func runSeededPipeline(t *testing.T, workers int) (traceBytes, optBytes, modelBytes, metricBytes []byte) {
 	t.Helper()
+	return runSeededPipelineObs(t, workers, nil)
+}
+
+// runSeededPipelineObs is runSeededPipeline with an optional metrics
+// registry wired through every stage that accepts one.
+func runSeededPipelineObs(t *testing.T, workers int, reg *MetricsRegistry) (traceBytes, optBytes, modelBytes, metricBytes []byte) {
+	t.Helper()
 
 	tr, err := GenerateCDNMix(8000, 7)
 	if err != nil {
@@ -24,7 +31,7 @@ func runSeededPipeline(t *testing.T, workers int) (traceBytes, optBytes, modelBy
 		t.Fatal(err)
 	}
 
-	res, err := ComputeOPT(tr, OPTConfig{CacheSize: 8 << 20})
+	res, err := ComputeOPT(tr, OPTConfig{CacheSize: 8 << 20, Obs: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,11 +42,11 @@ func runSeededPipeline(t *testing.T, workers int) (traceBytes, optBytes, modelBy
 		}
 	}
 
-	cache, err := NewCache(CacheConfig{CacheSize: 8 << 20, WindowSize: 3000, Workers: workers})
+	cache, err := NewCache(CacheConfig{CacheSize: 8 << 20, WindowSize: 3000, Workers: workers, Obs: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := Simulate(tr, cache, SimOptions{Warmup: 2000})
+	m := Simulate(tr, cache, SimOptions{Warmup: 2000, Obs: reg})
 	if cache.Model() == nil {
 		t.Fatal("pipeline never trained a model")
 	}
@@ -77,6 +84,54 @@ func TestPipelineDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(met1, met2) {
 		t.Error("simulation metrics differ between identically seeded runs")
+	}
+}
+
+// TestObsCountersDeterministic guards the observability layer's
+// non-interference contract: wiring a metrics registry through every
+// pipeline stage must leave each stage's bytes identical to the
+// uninstrumented run, and all count-valued metrics must themselves be
+// deterministic (durations, of course, are not — only histogram
+// observation counts are compared).
+func TestObsCountersDeterministic(t *testing.T) {
+	base1, base2, base3, base4 := runSeededPipeline(t, 1)
+
+	regA := NewMetricsRegistry()
+	a1, a2, a3, a4 := runSeededPipelineObs(t, 1, regA)
+	for i, pair := range [][2][]byte{{base1, a1}, {base2, a2}, {base3, a3}, {base4, a4}} {
+		if !bytes.Equal(pair[0], pair[1]) {
+			t.Errorf("stage %d: instrumented run differs from uninstrumented run", i)
+		}
+	}
+
+	regB := NewMetricsRegistry()
+	runSeededPipelineObs(t, 1, regB)
+	sa, sb := regA.Snapshot(), regB.Snapshot()
+	if len(sa.Counters) == 0 {
+		t.Fatal("instrumented run recorded no counters")
+	}
+	if len(sa.Counters) != len(sb.Counters) {
+		t.Fatalf("counter sets differ: %d vs %d", len(sa.Counters), len(sb.Counters))
+	}
+	for i := range sa.Counters {
+		if sa.Counters[i] != sb.Counters[i] {
+			t.Errorf("counter %s: %d vs %s: %d across identical runs",
+				sa.Counters[i].Name, sa.Counters[i].Value, sb.Counters[i].Name, sb.Counters[i].Value)
+		}
+	}
+	for i := range sa.Gauges {
+		if sa.Gauges[i] != sb.Gauges[i] {
+			t.Errorf("gauge %s differs across identical runs", sa.Gauges[i].Name)
+		}
+	}
+	if len(sa.Histograms) != len(sb.Histograms) {
+		t.Fatalf("histogram sets differ: %d vs %d", len(sa.Histograms), len(sb.Histograms))
+	}
+	for i := range sa.Histograms {
+		if sa.Histograms[i].Name != sb.Histograms[i].Name || sa.Histograms[i].Count != sb.Histograms[i].Count {
+			t.Errorf("histogram %s observation count %d vs %d across identical runs",
+				sa.Histograms[i].Name, sa.Histograms[i].Count, sb.Histograms[i].Count)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"lfo/internal/gbdt"
 
 	"lfo/internal/gen"
+	"lfo/internal/obs"
 	"lfo/internal/opt"
 	"lfo/internal/policy"
 	"lfo/internal/sim"
@@ -38,6 +39,47 @@ func TestNewValidates(t *testing.T) {
 	cfg.GBDT.NumIterations = -1
 	if _, err := New(cfg); err == nil {
 		t.Error("invalid GBDT params accepted")
+	}
+}
+
+func TestCutoffDefaultsAndSentinel(t *testing.T) {
+	// Regression: withDefaults used to treat Cutoff <= 0 as unset, which
+	// made the admit-all ablation (cutoff exactly 0) unconfigurable and
+	// silently mapped negative cutoffs to 0.5.
+	mk := func(cutoff float64) (*LFO, error) {
+		cfg := testConfig(1<<20, 1000)
+		cfg.Cutoff = cutoff
+		return New(cfg)
+	}
+
+	lfo, err := mk(0) // zero value: unset, defaults to 0.5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lfo.cfg.Cutoff != 0.5 {
+		t.Errorf("unset cutoff = %v, want 0.5", lfo.cfg.Cutoff)
+	}
+
+	lfo, err = mk(CutoffAdmitAll) // sentinel: effective cutoff exactly 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lfo.cfg.Cutoff != 0 {
+		t.Errorf("CutoffAdmitAll cutoff = %v, want 0", lfo.cfg.Cutoff)
+	}
+
+	lfo, err = mk(0.25) // explicit in-range value passes through
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lfo.cfg.Cutoff != 0.25 {
+		t.Errorf("explicit cutoff = %v, want 0.25", lfo.cfg.Cutoff)
+	}
+
+	for _, bad := range []float64{-0.3, -2, 1.5} {
+		if _, err := mk(bad); err == nil {
+			t.Errorf("cutoff %v accepted, want error", bad)
+		}
 	}
 }
 
@@ -299,6 +341,102 @@ func TestLFOAsyncTrainingDeploys(t *testing.T) {
 	}
 	if m.Hits == 0 {
 		t.Error("async LFO scored no hits")
+	}
+}
+
+func TestAsyncDroppedWindowCounted(t *testing.T) {
+	// Regression: retrainAsync used to snapshot the window (two copies)
+	// before noticing a round was still in flight, then discard the
+	// copies silently. The drop must now happen before the copies and be
+	// counted in both the obs registry and RetrainStats.
+	tr := webTrace(t, 2000, 14)
+	cfg := testConfig(1<<20, 1000)
+	cfg.AsyncTraining = true
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	var stats []RetrainStats
+	cfg.OnRetrain = func(s RetrainStats) { stats = append(stats, s) }
+	lfo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a training round that is still in flight at the first
+	// window boundary, deterministically: pending is non-nil and nothing
+	// ever arrives on it.
+	stuck := make(chan trainResult, 1)
+	lfo.pending = stuck
+	for _, r := range tr.Requests[:1000] {
+		lfo.Request(r)
+	}
+	if lfo.windowsDropped != 1 {
+		t.Fatalf("windowsDropped = %d, want 1", lfo.windowsDropped)
+	}
+	if got := reg.Counter("core_windows_dropped_total").Value(); got != 1 {
+		t.Errorf("core_windows_dropped_total = %d, want 1", got)
+	}
+	if len(lfo.winReqs) != 0 || len(lfo.winFeats) != 0 {
+		t.Error("dropped window left samples behind")
+	}
+	if lag := reg.Gauge("core_window_lag").Value(); lag != 0 {
+		t.Errorf("window lag after drop = %d, want 0 (dropped windows never deploy)", lag)
+	}
+
+	// Release the simulated round and complete a real one; its OnRetrain
+	// stats must carry the cumulative drop count.
+	lfo.pending = nil
+	for _, r := range tr.Requests[1000:2000] {
+		lfo.Request(r)
+	}
+	lfo.Close()
+	if lfo.Windows() != 1 {
+		t.Fatalf("Windows = %d, want 1", lfo.Windows())
+	}
+	if len(stats) != 1 {
+		t.Fatalf("OnRetrain fired %d times, want 1", len(stats))
+	}
+	if stats[0].WindowsDropped != 1 {
+		t.Errorf("stats.WindowsDropped = %d, want 1", stats[0].WindowsDropped)
+	}
+	if stats[0].Samples != 1000 {
+		t.Errorf("stats.Samples = %d, want 1000", stats[0].Samples)
+	}
+	if got := reg.Counter("core_retrains_total").Value(); got != 1 {
+		t.Errorf("core_retrains_total = %d, want 1", got)
+	}
+	if lag := reg.Gauge("core_window_lag").Value(); lag != 0 {
+		t.Errorf("window lag after deploy = %d, want 0", lag)
+	}
+}
+
+func TestObsMetricsRecorded(t *testing.T) {
+	tr := webTrace(t, 6000, 15)
+	cfg := testConfig(1<<20, 2000)
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	lfo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run(tr, lfo, sim.Options{})
+	if got := reg.Counter("core_requests_total").Value(); got != int64(len(tr.Requests)) {
+		t.Errorf("core_requests_total = %d, want %d", got, len(tr.Requests))
+	}
+	if got := reg.Counter("core_hits_total").Value(); got != int64(m.Hits) {
+		t.Errorf("core_hits_total = %d, want %d", got, m.Hits)
+	}
+	wantRetrains := int64(lfo.Windows())
+	if got := reg.Counter("core_retrains_total").Value(); got != wantRetrains {
+		t.Errorf("core_retrains_total = %d, want %d", got, wantRetrains)
+	}
+	for _, name := range []string{"core_retrain_opt_ns", "core_retrain_train_ns", "core_retrain_rescore_ns"} {
+		if got := reg.Histogram(name, obs.LatencyBounds).Count(); got != wantRetrains {
+			t.Errorf("%s count = %d, want %d", name, got, wantRetrains)
+		}
+	}
+	// The OPT solve counters propagate via the core config.
+	if got := reg.Counter("opt_solves_total").Value(); got != wantRetrains {
+		t.Errorf("opt_solves_total = %d, want %d", got, wantRetrains)
 	}
 }
 

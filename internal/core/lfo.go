@@ -19,6 +19,7 @@ import (
 
 	"lfo/internal/features"
 	"lfo/internal/gbdt"
+	"lfo/internal/obs"
 	"lfo/internal/opt"
 	"lfo/internal/par"
 	"lfo/internal/pq"
@@ -34,7 +35,9 @@ type Config struct {
 	// W). Zero means 50000.
 	WindowSize int
 	// Cutoff is the admission likelihood threshold (§2.4). Zero means
-	// 0.5.
+	// 0.5; use CutoffAdmitAll for an effective threshold of exactly 0
+	// (admit everything the model scores). Other values must lie in
+	// [0, 1] or New returns an error.
 	Cutoff float64
 	// OPT configures the offline-optimal computation for training
 	// labels. OPT.CacheSize is overridden with CacheSize.
@@ -72,7 +75,20 @@ type Config struct {
 	// (e.g. gbdt.Load of a persisted model), skipping the admit-all
 	// bootstrap phase.
 	InitialModel *gbdt.Model
+	// Obs, when set, records the cache's runtime metrics: request/hit
+	// counts, retrain stage durations (OPT labeling, GBDT training,
+	// resident rescoring), async windows dropped, and deployed-window
+	// lag. Metrics observe the pipeline and never feed back into
+	// decisions, so determinism is unaffected; when nil, recording is a
+	// no-op (see internal/obs).
+	Obs *obs.Registry
 }
+
+// CutoffAdmitAll is the Config.Cutoff sentinel for an effective cutoff of
+// exactly 0 — every request the model scores is admitted. A literal 0 is
+// Go's zero value and therefore means "unset" (defaulting to 0.5), which
+// would otherwise make the admit-all ablation unconfigurable.
+const CutoffAdmitAll = -1
 
 // RetrainStats summarizes one retraining round, surfaced via OnRetrain.
 type RetrainStats struct {
@@ -98,14 +114,20 @@ type RetrainStats struct {
 	// OPTDroppedIntervals counts intervals excluded by rank selection and
 	// declared uncached without solving.
 	OPTDroppedIntervals int
+	// WindowsDropped is the cumulative number of completed windows
+	// discarded untrained because an async round was still in flight
+	// (always 0 for synchronous training).
+	WindowsDropped int
 }
 
 func (c Config) withDefaults() Config {
 	if c.WindowSize <= 0 {
 		c.WindowSize = 50000
 	}
-	if c.Cutoff <= 0 {
+	if c.Cutoff == 0 {
 		c.Cutoff = 0.5
+	} else if c.Cutoff == CutoffAdmitAll {
+		c.Cutoff = 0
 	}
 	if c.GBDT.NumIterations == 0 {
 		c.GBDT = gbdt.DefaultParams()
@@ -115,6 +137,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OPT.Workers == 0 {
 		c.OPT.Workers = c.Workers
+	}
+	if c.OPT.Obs == nil {
+		c.OPT.Obs = c.Obs
 	}
 	c.OPT.CacheSize = c.CacheSize
 	return c
@@ -139,7 +164,55 @@ type LFO struct {
 
 	// Async training state: pending receives at most one in-flight
 	// result; training spawns only when pending is nil.
-	pending chan *gbdt.Model
+	pending chan trainResult
+
+	// completedWindows counts window boundaries crossed; windowsDropped
+	// counts the subset discarded untrained by the async path. Their gap
+	// against the deployed count p.windows is the window lag gauge.
+	completedWindows int
+	windowsDropped   int
+
+	m coreMetrics // nil-safe handles; zero cost when cfg.Obs is nil
+}
+
+// trainResult is one finished training round: the model plus its
+// OnRetrain diagnostics (stats are only populated when OnRetrain is set).
+type trainResult struct {
+	model *gbdt.Model
+	stats RetrainStats
+}
+
+// coreMetrics bundles the LFO hot-path metric handles, resolved once at
+// construction. All handles are nil (single-branch no-ops) when the
+// registry is nil.
+type coreMetrics struct {
+	requests       *obs.Counter
+	hits           *obs.Counter
+	retrains       *obs.Counter
+	windowsDropped *obs.Counter
+	windowLag      *obs.Gauge
+	optNS          *obs.Histogram
+	trainNS        *obs.Histogram
+	rescoreNS      *obs.Histogram
+}
+
+func newCoreMetrics(r *obs.Registry) coreMetrics {
+	return coreMetrics{
+		requests:       r.Counter("core_requests_total"),
+		hits:           r.Counter("core_hits_total"),
+		retrains:       r.Counter("core_retrains_total"),
+		windowsDropped: r.Counter("core_windows_dropped_total"),
+		windowLag:      r.Gauge("core_window_lag"),
+		optNS:          r.Histogram("core_retrain_opt_ns", obs.LatencyBounds),
+		trainNS:        r.Histogram("core_retrain_train_ns", obs.LatencyBounds),
+		rescoreNS:      r.Histogram("core_retrain_rescore_ns", obs.LatencyBounds),
+	}
+}
+
+// updateLag refreshes the deployed-window lag gauge: completed window
+// boundaries not yet accounted for by a deployed or dropped round.
+func (p *LFO) updateLag() {
+	p.m.windowLag.Set(int64(p.completedWindows - p.windows - p.windowsDropped))
 }
 
 // New returns an LFO cache. Until the first window completes, LFO runs a
@@ -148,6 +221,9 @@ func New(cfg Config) (*LFO, error) {
 	cfg = cfg.withDefaults()
 	if cfg.CacheSize <= 0 {
 		return nil, fmt.Errorf("core: CacheSize must be positive, got %d", cfg.CacheSize)
+	}
+	if cfg.Cutoff < 0 || cfg.Cutoff > 1 {
+		return nil, fmt.Errorf("core: Cutoff must be in [0,1] (or the CutoffAdmitAll sentinel), got %v", cfg.Cutoff)
 	}
 	if err := cfg.GBDT.Validate(); err != nil {
 		return nil, err
@@ -158,6 +234,7 @@ func New(cfg Config) (*LFO, error) {
 		rank:    pq.New(),
 		tracker: features.NewTracker(cfg.MaxTrackedObjects),
 		buf:     make([]float64, features.Dim),
+		m:       newCoreMetrics(cfg.Obs),
 	}
 	if cfg.InitialModel != nil {
 		if cfg.InitialModel.Dim != features.Dim {
@@ -181,6 +258,7 @@ func (p *LFO) Windows() int { return p.windows }
 func (p *LFO) Request(r trace.Request) bool {
 	p.clock++
 	p.now = r.Time
+	p.m.requests.Inc()
 	p.tracker.Features(r, p.store.Free(), p.buf)
 
 	// Record the window sample before acting (features must reflect the
@@ -194,6 +272,9 @@ func (p *LFO) Request(r trace.Request) bool {
 	}
 
 	hit := p.store.Has(r.ID)
+	if hit {
+		p.m.hits.Inc()
+	}
 	switch {
 	case hit && p.model != nil:
 		// Re-evaluate on every request (§2.4): update the eviction rank
@@ -221,13 +302,14 @@ func (p *LFO) Request(r trace.Request) bool {
 	if p.pending != nil {
 		// Deploy an asynchronously trained model as soon as it lands.
 		select {
-		case m := <-p.pending:
+		case tr := <-p.pending:
 			p.pending = nil
-			p.deploy(m)
+			p.deploy(tr)
 		default:
 		}
 	}
 	if len(p.winReqs) >= p.cfg.WindowSize {
+		p.completedWindows++
 		if p.cfg.AsyncTraining {
 			p.retrainAsync()
 		} else {
@@ -241,8 +323,9 @@ func (p *LFO) Request(r trace.Request) bool {
 // model. It is a no-op without AsyncTraining.
 func (p *LFO) Close() {
 	if p.pending != nil {
-		p.deploy(<-p.pending)
+		tr := <-p.pending
 		p.pending = nil
+		p.deploy(tr)
 	}
 }
 
@@ -276,12 +359,16 @@ func (p *LFO) retrain() {
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
+			sc := obs.Start(p.m.optNS)
 			res, optErr = opt.Compute(win, p.cfg.OPT)
+			sc.Stop()
 		}()
 		ids, rescoreRows = p.gatherResidents()
 		<-done
 	} else {
+		sc := obs.Start(p.m.optNS)
 		res, optErr = opt.Compute(win, p.cfg.OPT)
+		sc.Stop()
 		ids, rescoreRows = p.gatherResidents()
 	}
 	if optErr != nil {
@@ -301,7 +388,9 @@ func (p *LFO) retrain() {
 		}
 	}
 	ds := gbdt.DatasetFromMatrix(features.Dim, p.winFeats, labels)
+	sc := obs.Start(p.m.trainNS)
 	model, err := gbdt.Train(ds, p.cfg.GBDT)
+	sc.Stop()
 	if err != nil {
 		panic(fmt.Sprintf("core: training failed: %v", err))
 	}
@@ -314,7 +403,11 @@ func (p *LFO) retrain() {
 	p.winFeats = p.winFeats[:0]
 	p.model = model
 	p.windows++
+	p.m.retrains.Inc()
+	p.updateLag()
+	sc = obs.Start(p.m.rescoreNS)
 	p.rescoreWith(ids, rescoreRows)
+	sc.Stop()
 }
 
 // retrainStats measures the new model against OPT on its own training
@@ -342,45 +435,67 @@ func (p *LFO) retrainStats(model *gbdt.Model, ds *gbdt.Dataset, res *opt.Result)
 		OPTFlowIntervals:    res.FlowIntervals,
 		OPTGreedyIntervals:  res.GreedyIntervals,
 		OPTDroppedIntervals: res.DroppedIntervals(),
+		WindowsDropped:      p.windowsDropped,
 	}
 }
 
-// deploy swaps in a freshly trained model and re-ranks residents; the
-// async path has no prebuilt rescore matrix, so it extracts one here.
-func (p *LFO) deploy(model *gbdt.Model) {
-	p.model = model
+// deploy swaps in an asynchronously trained model and re-ranks residents;
+// the async path has no prebuilt rescore matrix, so it extracts one here.
+func (p *LFO) deploy(tr trainResult) {
+	if p.cfg.OnRetrain != nil {
+		tr.stats.Window = p.windows
+		tr.stats.WindowsDropped = p.windowsDropped
+		p.cfg.OnRetrain(tr.stats)
+	}
+	p.model = tr.model
 	p.windows++
+	p.m.retrains.Inc()
+	p.updateLag()
 	ids, rows := p.gatherResidents()
+	sc := obs.Start(p.m.rescoreNS)
 	p.rescoreWith(ids, rows)
+	sc.Stop()
 }
 
 // retrainAsync snapshots the window and trains in a goroutine; the model
 // deploys on a later Request (or Close). The request path keeps serving
 // on the previous model meanwhile. If a training round is still in
-// flight, the oldest window is dropped (training lags the traffic), which
-// matches a production deployment that sheds stale training work.
+// flight, the window is dropped without snapshotting it (training lags
+// the traffic), which matches a production deployment that sheds stale
+// training work — the drop is counted, not silent.
 func (p *LFO) retrainAsync() {
+	if p.pending != nil {
+		// Previous round still training; drop this window before paying
+		// for the two snapshot copies it would otherwise never use.
+		p.winReqs = p.winReqs[:0]
+		p.winFeats = p.winFeats[:0]
+		p.windowsDropped++
+		p.m.windowsDropped.Inc()
+		p.updateLag()
+		return
+	}
 	reqs := append([]trace.Request(nil), p.winReqs...)
 	feats := append([]float64(nil), p.winFeats...)
 	p.winReqs = p.winReqs[:0]
 	p.winFeats = p.winFeats[:0]
-	if p.pending != nil {
-		return // previous round still training; drop this window
-	}
-	ch := make(chan *gbdt.Model, 1)
+	p.updateLag()
+	ch := make(chan trainResult, 1)
 	p.pending = ch
 	cfg := p.cfg
+	m := p.m
 	go func() {
-		ch <- trainWindow(reqs, feats, cfg)
+		ch <- trainWindow(reqs, feats, cfg, m)
 	}()
 }
 
 // trainWindow runs the OPT-label + fit pipeline on a snapshot; it is free
 // of references to the live cache so it can run concurrently with
-// serving.
-func trainWindow(reqs []trace.Request, feats []float64, cfg Config) *gbdt.Model {
+// serving. Stats are computed only when someone will read them.
+func trainWindow(reqs []trace.Request, feats []float64, cfg Config, m coreMetrics) trainResult {
 	win := &trace.Trace{Requests: reqs}
+	sc := obs.Start(m.optNS)
 	res, err := opt.Compute(win, cfg.OPT)
+	sc.Stop()
 	if err != nil {
 		panic(fmt.Sprintf("core: OPT computation failed: %v", err))
 	}
@@ -390,11 +505,41 @@ func trainWindow(reqs []trace.Request, feats []float64, cfg Config) *gbdt.Model 
 			labels[i] = 1
 		}
 	}
-	model, err := gbdt.Train(gbdt.DatasetFromMatrix(features.Dim, feats, labels), cfg.GBDT)
+	ds := gbdt.DatasetFromMatrix(features.Dim, feats, labels)
+	sc = obs.Start(m.trainNS)
+	model, err := gbdt.Train(ds, cfg.GBDT)
+	sc.Stop()
 	if err != nil {
 		panic(fmt.Sprintf("core: training failed: %v", err))
 	}
-	return model
+	tr := trainResult{model: model}
+	if cfg.OnRetrain != nil {
+		preds := make([]float64, ds.Len())
+		model.PredictBatch(feats, preds, cfg.Workers)
+		correct, pos := 0, 0
+		for i := 0; i < ds.Len(); i++ {
+			pred := preds[i] >= cfg.Cutoff
+			if pred == (ds.Label(i) == 1) {
+				correct++
+			}
+			if ds.Label(i) == 1 {
+				pos++
+			}
+		}
+		// Window and WindowsDropped are stamped at deploy time, when the
+		// live cache's counters are in scope.
+		tr.stats = RetrainStats{
+			Samples:             ds.Len(),
+			PositiveRate:        float64(pos) / float64(ds.Len()),
+			TrainAccuracy:       float64(correct) / float64(ds.Len()),
+			OPTAlgo:             res.AlgoLabel(),
+			OPTSegments:         res.Segments,
+			OPTFlowIntervals:    res.FlowIntervals,
+			OPTGreedyIntervals:  res.GreedyIntervals,
+			OPTDroppedIntervals: res.DroppedIntervals(),
+		}
+	}
+	return tr
 }
 
 // gatherResidents snapshots the resident set in sorted ID order and

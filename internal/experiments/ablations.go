@@ -265,6 +265,7 @@ func AblationPolicyDesign(cfg Config) ([]PolicyDesignResult, error) {
 			CacheSize:  cfg.CacheSize,
 			WindowSize: cfg.Window,
 			OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
+			Obs:        cfg.Obs,
 		}
 		v.mut(&c)
 		lfo, err := core.New(c)

@@ -19,6 +19,7 @@ import (
 	"lfo/internal/core"
 	"lfo/internal/gbdt"
 	"lfo/internal/gen"
+	"lfo/internal/obs"
 	"lfo/internal/opt"
 	"lfo/internal/policy"
 	"lfo/internal/sim"
@@ -41,6 +42,10 @@ type Config struct {
 	// segmented OPT solve may use; 0 means all cores, 1 is sequential.
 	// Results are byte-identical for any value.
 	Workers int
+	// Obs, when set, accumulates runtime metrics across the harness's LFO
+	// caches and simulation runs (see internal/obs); results are
+	// unaffected.
+	Obs *obs.Registry
 }
 
 // Quick returns a configuration sized for unit tests and CI (seconds).
@@ -94,6 +99,7 @@ func (c Config) lfoConfig() core.Config {
 		OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
 		GBDT:       gbdt.DefaultParams(),
 		Workers:    c.Workers,
+		Obs:        c.Obs,
 	}
 }
 
@@ -153,7 +159,7 @@ func Fig1(cfg Config) ([]PolicyResult, error) {
 	// Figure 1 reports the object hit ratio; GDSF's classic
 	// OHR-optimizing configuration uses unit costs.
 	tr = tr.WithCosts(trace.ObjectiveOHR)
-	opts := sim.Options{Warmup: cfg.Requests / 5}
+	opts := sim.Options{Warmup: cfg.Requests / 5, Obs: cfg.Obs}
 	var out []PolicyResult
 	for _, name := range []string{"rnd", "lru", "rlc", "gdsf"} {
 		p, err := policy.New(name, cfg.CacheSize, cfg.Seed)

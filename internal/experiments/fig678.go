@@ -40,7 +40,7 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 		return nil, err
 	}
 	warmup := cfg.Window // first LFO window is bootstrap; exclude for all
-	opts := sim.Options{Warmup: warmup}
+	opts := sim.Options{Warmup: warmup, Obs: cfg.Obs}
 
 	res := &Fig6Result{}
 	for _, name := range fig6PolicyNames {
@@ -56,6 +56,7 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 		CacheSize:  cfg.CacheSize,
 		WindowSize: cfg.Window,
 		OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
+		Obs:        cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -60,6 +60,7 @@ func Robustness(cfg Config) ([]RobustnessResult, error) {
 			CacheSize:  cfg.CacheSize,
 			WindowSize: cfg.Window,
 			OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
+			Obs:        cfg.Obs,
 		})
 	}
 	cleanLFO, err := mkLFO()

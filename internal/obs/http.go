@@ -1,0 +1,104 @@
+package obs
+
+// HTTP surfaces for the metrics registry: a flat-text /metrics handler,
+// an expvar (/debug/vars) bridge, and the net/http/pprof profiling
+// endpoints, combined by DebugMux and served by ServeDebug — the engine
+// behind cmd/predserve's -debug.addr flag.
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler returns an http.Handler rendering the registry's snapshot as
+// flat "name value" text lines in sorted name order.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// The snapshot is tiny; a mid-write client disconnect needs no
+		// handling beyond abandoning the response.
+		_ = r.Snapshot().WriteText(w)
+	})
+}
+
+// expvarTargets maps published expvar names to swappable registry
+// pointers: expvar forbids publishing a name twice, so re-publishing a
+// name retargets the existing var instead.
+var (
+	expvarMu      sync.Mutex
+	expvarTargets = map[string]*registryHolder{}
+)
+
+type registryHolder struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+func (h *registryHolder) get() *Registry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.reg
+}
+
+func (h *registryHolder) set(r *Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.reg = r
+}
+
+// PublishExpvar exposes the registry's snapshot on /debug/vars under the
+// given top-level name. Publishing an already-published name retargets it
+// to the new registry (expvar itself forbids duplicate names).
+func PublishExpvar(name string, r *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if h := expvarTargets[name]; h != nil {
+		h.set(r)
+		return
+	}
+	h := &registryHolder{reg: r}
+	expvarTargets[name] = h
+	expvar.Publish(name, expvar.Func(func() interface{} {
+		return h.get().Snapshot().Vars()
+	}))
+}
+
+// ExpvarName is the top-level /debug/vars key DebugMux publishes the
+// registry under.
+const ExpvarName = "lfo"
+
+// DebugMux returns the debug HTTP mux: /metrics (flat text), /debug/vars
+// (expvar, with the registry published under ExpvarName), and the
+// /debug/pprof endpoints.
+func DebugMux(r *Registry) *http.ServeMux {
+	PublishExpvar(ExpvarName, r)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug binds addr and serves DebugMux(r) in a background goroutine.
+// It returns the bound address (so ":0" works) and a function that stops
+// the listener and any in-flight handlers.
+func ServeDebug(addr string, r *Registry) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: DebugMux(r)}
+	go func() {
+		// Serve always returns a non-nil error on Close; nothing to do
+		// with it here.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr(), srv.Close, nil
+}

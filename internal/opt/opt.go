@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lfo/internal/obs"
 	"lfo/internal/trace"
 )
 
@@ -94,6 +95,10 @@ type Config struct {
 	// disjoint part of the result (same determinism bar as the training
 	// pipeline's Workers knob).
 	Workers int
+	// Obs, when set, records per-solve totals (solves, flow vs greedy
+	// segment and interval counts, dropped intervals). Metrics never
+	// influence the solve; nil disables recording (see internal/obs).
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -269,5 +274,23 @@ func Compute(tr *trace.Trace, cfg Config) (*Result, error) {
 			res.MissCost += r.Cost
 		}
 	}
+	recordSolve(cfg.Obs, res)
 	return res, nil
+}
+
+// recordSolve accumulates one solve's solver mix into the registry (a
+// no-op for a nil registry).
+func recordSolve(r *obs.Registry, res *Result) {
+	if r == nil {
+		return
+	}
+	r.Counter("opt_solves_total").Inc()
+	r.Counter("opt_intervals_total").Add(int64(res.Intervals))
+	r.Counter("opt_solved_intervals_total").Add(int64(res.Solved))
+	r.Counter("opt_dropped_intervals_total").Add(int64(res.DroppedIntervals()))
+	r.Counter("opt_flow_segments_total").Add(int64(res.FlowSegments))
+	r.Counter("opt_greedy_segments_total").Add(int64(res.GreedySegments))
+	r.Counter("opt_flow_intervals_total").Add(int64(res.FlowIntervals))
+	r.Counter("opt_greedy_intervals_total").Add(int64(res.GreedyIntervals))
+	r.Counter("opt_boundary_intervals_total").Add(int64(res.BoundaryIntervals))
 }

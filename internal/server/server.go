@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
@@ -10,6 +11,7 @@ import (
 
 	"lfo/internal/features"
 	"lfo/internal/gbdt"
+	"lfo/internal/obs"
 	"lfo/internal/trace"
 )
 
@@ -29,6 +31,60 @@ type Server struct {
 	// Logf receives connection-level errors; defaults to log.Printf.
 	// Must be set before Serve.
 	Logf func(format string, args ...interface{})
+
+	// MaxTrackedObjects bounds each connection's opAdmit feature tracker,
+	// mirroring core.Config.MaxTrackedObjects: 0 keeps the historical
+	// default of 1<<22 objects; a negative value removes the bound. Must
+	// be set before Listen.
+	MaxTrackedObjects int
+
+	// Obs, when set, records request/row counters per opcode, frame
+	// read/write errors, a predict latency histogram, and an open-
+	// connections gauge (see internal/obs). Must be set before Listen.
+	Obs *obs.Registry
+
+	m serverMetrics // handles resolved in Listen; nil-safe no-ops otherwise
+}
+
+// serverMetrics bundles the per-server metric handles. All handles are
+// nil (single-branch no-ops) when the registry is nil.
+type serverMetrics struct {
+	predictReqs *obs.Counter
+	admitReqs   *obs.Counter
+	predictRows *obs.Counter
+	admitRows   *obs.Counter
+	readErrors  *obs.Counter
+	writeErrors *obs.Counter
+	badRequests *obs.Counter
+	openConns   *obs.Gauge
+	predictNS   *obs.Histogram
+}
+
+func newServerMetrics(r *obs.Registry) serverMetrics {
+	return serverMetrics{
+		predictReqs: r.Counter("server_predict_requests_total"),
+		admitReqs:   r.Counter("server_admit_requests_total"),
+		predictRows: r.Counter("server_predict_rows_total"),
+		admitRows:   r.Counter("server_admit_rows_total"),
+		readErrors:  r.Counter("server_read_errors_total"),
+		writeErrors: r.Counter("server_write_errors_total"),
+		badRequests: r.Counter("server_bad_requests_total"),
+		openConns:   r.Gauge("server_open_connections"),
+		predictNS:   r.Histogram("server_predict_ns", obs.LatencyBounds),
+	}
+}
+
+// trackerBound resolves MaxTrackedObjects to the features.NewTracker
+// argument (0 there means unbounded).
+func (s *Server) trackerBound() int {
+	switch {
+	case s.MaxTrackedObjects > 0:
+		return s.MaxTrackedObjects
+	case s.MaxTrackedObjects < 0:
+		return 0
+	default:
+		return 1 << 22
+	}
 }
 
 // New returns a server deploying the given model. workers bounds the
@@ -46,6 +102,7 @@ func (s *Server) SetModel(m *gbdt.Model) { s.model.Store(m) }
 // Listen binds the address (e.g. "127.0.0.1:0") and starts accepting in a
 // background goroutine. It returns the bound address.
 func (s *Server) Listen(addr string) (net.Addr, error) {
+	s.m = newServerMetrics(s.Obs)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
@@ -79,9 +136,11 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handle serves one connection until EOF or error.
+// handle serves one connection until disconnect or error.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	s.m.openConns.Add(1)
+	defer s.m.openConns.Add(-1)
 	defer func() {
 		_ = conn.Close() // best-effort teardown of a served connection
 		s.mu.Lock()
@@ -95,17 +154,16 @@ func (s *Server) handle(conn net.Conn) {
 	for {
 		payload, err := readFrame(conn)
 		if err != nil {
-			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
-				// Benign EOF on client disconnect; log the rest.
-				if !isEOF(err) {
-					s.Logf("server: read from %s: %v", conn.RemoteAddr(), err)
-				}
+			if !benignDisconnect(err) {
+				s.m.readErrors.Inc()
+				s.Logf("server: read from %s: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
 		m := s.model.Load()
 		if m == nil {
 			if werr := writeFrame(conn, encodeError("no model deployed")); werr != nil {
+				s.m.writeErrors.Inc()
 				return
 			}
 			continue
@@ -118,8 +176,12 @@ func (s *Server) handle(conn net.Conn) {
 				err = derr
 				break
 			}
+			s.m.predictReqs.Inc()
+			s.m.predictRows.Add(int64(len(rows) / features.Dim))
 			probs = make([]float64, len(rows)/features.Dim)
+			sc := obs.Start(s.m.predictNS)
 			m.PredictBatch(rows, probs, s.workers)
+			sc.Stop()
 		case len(payload) > 0 && payload[0] == opAdmit:
 			reqs, derr := decodeAdmitRequest(payload)
 			if derr != nil {
@@ -127,32 +189,45 @@ func (s *Server) handle(conn net.Conn) {
 				break
 			}
 			if tracker == nil {
-				tracker = features.NewTracker(1 << 22)
+				tracker = features.NewTracker(s.trackerBound())
 			}
+			s.m.admitReqs.Inc()
+			s.m.admitRows.Add(int64(len(reqs)))
 			probs = make([]float64, len(reqs))
+			sc := obs.Start(s.m.predictNS)
 			for i, ar := range reqs {
 				r := trace.Request{Time: ar.Time, ID: trace.ObjectID(ar.ID), Size: ar.Size, Cost: ar.Cost}
 				tracker.Features(r, ar.Free, buf)
 				probs[i] = m.Predict(buf)
 				tracker.Update(r)
 			}
+			sc.Stop()
 		default:
 			err = fmt.Errorf("server: unknown opcode in %d-byte frame", len(payload))
 		}
 		if err != nil {
+			s.m.badRequests.Inc()
 			if werr := writeFrame(conn, encodeError(err.Error())); werr != nil {
+				s.m.writeErrors.Inc()
 				return
 			}
 			continue
 		}
 		if err := writeFrame(conn, encodePredictResponse(probs)); err != nil {
+			s.m.writeErrors.Inc()
 			return
 		}
 	}
 }
 
-func isEOF(err error) bool {
-	return err != nil && (err.Error() == "EOF" || errors.Is(err, net.ErrClosed))
+// benignDisconnect reports whether a frame-read error is an ordinary
+// client disconnect — clean between frames (io.EOF, possibly wrapped) or
+// mid-frame (io.ErrUnexpectedEOF) — or our own Close tearing the socket
+// down. None of these warrant logging.
+func benignDisconnect(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed)
 }
 
 // Close stops accepting, closes all connections, and waits for handlers.

@@ -2,14 +2,21 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"lfo/internal/features"
 	"lfo/internal/gbdt"
+	"lfo/internal/obs"
 	"lfo/internal/trace"
 )
 
@@ -369,4 +376,272 @@ func TestAdmitCodecRoundTrip(t *testing.T) {
 
 func traceRequest(ar AdmitRequest) trace.Request {
 	return trace.Request{Time: ar.Time, ID: trace.ObjectID(ar.ID), Size: ar.Size, Cost: ar.Cost}
+}
+
+// waitForIdleConns blocks until the server has no tracked connections
+// (handlers observed the disconnect) or the deadline passes.
+func waitForIdleConns(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("server connections never drained")
+}
+
+// TestClientDisconnectNotLogged: a client going away — cleanly between
+// frames (io.EOF) or mid-frame (io.ErrUnexpectedEOF, possibly wrapped) —
+// is benign and must not reach Logf. Regression for the string-compare
+// EOF detection that missed wrapped and mid-frame EOFs.
+func TestClientDisconnectNotLogged(t *testing.T) {
+	m := testModel(t)
+	s := New(m, 1)
+	var mu sync.Mutex
+	var logged []string
+	s.Logf = func(format string, args ...interface{}) {
+		mu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	// Clean disconnect: connect, send nothing, close (io.EOF).
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-frame disconnect: send a length header claiming more bytes
+	// than we deliver, then close (io.ErrUnexpectedEOF inside the frame).
+	conn, err = net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{100, 0, 0, 0, opPredict}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Header-truncating disconnect: close after half the length prefix.
+	conn, err = net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{100, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	waitForIdleConns(t, s)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) != 0 {
+		t.Errorf("benign disconnects were logged: %q", logged)
+	}
+}
+
+func TestTrackerBoundMapping(t *testing.T) {
+	for _, tc := range []struct{ field, want int }{
+		{0, 1 << 22}, // default preserved
+		{5, 5},       // explicit bound
+		{-1, 0},      // negative = unbounded (features.NewTracker(0))
+	} {
+		s := &Server{MaxTrackedObjects: tc.field}
+		if got := s.trackerBound(); got != tc.want {
+			t.Errorf("MaxTrackedObjects=%d: trackerBound = %d, want %d", tc.field, got, tc.want)
+		}
+	}
+}
+
+// TestMaxTrackedObjectsBoundsAdmitTracker: with a small bound configured,
+// the server's per-connection tracker must behave exactly like a local
+// tracker constructed with the same bound (evictions included).
+func TestMaxTrackedObjectsBoundsAdmitTracker(t *testing.T) {
+	m := testModel(t)
+	const bound = 3
+	s := New(m, 1)
+	s.Logf = t.Logf
+	s.MaxTrackedObjects = bound
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Many more distinct objects than the bound, with revisits, so the
+	// bounded tracker's evictions shape the features.
+	var reqs []AdmitRequest
+	for i := 0; i < 80; i++ {
+		reqs = append(reqs, AdmitRequest{
+			Time: int64(i * 2),
+			ID:   uint64(i % 11),
+			Size: int64(100 + i%4*25),
+			Cost: float64(100 + i%4*25),
+			Free: 1 << 20,
+		})
+	}
+	got, err := c.Admit(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker := features.NewTracker(bound)
+	buf := make([]float64, features.Dim)
+	for i, ar := range reqs {
+		r := traceRequest(ar)
+		tracker.Features(r, ar.Free, buf)
+		want := m.Predict(buf)
+		tracker.Update(r)
+		if got[i] != want {
+			t.Fatalf("request %d: remote %g != bounded-local %g", i, got[i], want)
+		}
+	}
+}
+
+// TestDebugEndpointsServeLiveCounts is the curl-free smoke test: a debug
+// listener serves /metrics, /debug/vars, and /debug/pprof/ with live
+// counter values after one Predict and one Admit round-trip.
+func TestDebugEndpointsServeLiveCounts(t *testing.T) {
+	m := testModel(t)
+	reg := obs.NewRegistry()
+	s := New(m, 1)
+	s.Logf = t.Logf
+	s.Obs = reg
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	dbgAddr, stop, err := obs.ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := stop(); err != nil {
+			t.Errorf("debug listener close: %v", err)
+		}
+	})
+
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Predict(randRows(4, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Admit([]AdmitRequest{{Time: 1, ID: 8, Size: 64, Cost: 64, Free: 1 << 20}}); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (string, int) {
+		t.Helper()
+		resp, err := http.Get("http://" + dbgAddr.String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return string(body), resp.StatusCode
+	}
+
+	// /metrics: flat "name value" text with the live counts.
+	metrics, code := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"server_predict_requests_total 1",
+		"server_admit_requests_total 1",
+		"server_predict_rows_total 4",
+		"server_admit_rows_total 1",
+		"server_open_connections 1",
+	} {
+		if !strings.Contains(metrics, want+"\n") {
+			t.Errorf("/metrics missing %q; got:\n%s", want, metrics)
+		}
+	}
+
+	// /debug/vars: expvar JSON with the registry under the "lfo" key.
+	varsBody, code := get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars struct {
+		LFO map[string]int64 `json:"lfo"`
+	}
+	if err := json.Unmarshal([]byte(varsBody), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars.LFO["server_predict_requests_total"] != 1 || vars.LFO["server_admit_requests_total"] != 1 {
+		t.Errorf("/debug/vars lfo counters = %v", vars.LFO)
+	}
+
+	// /debug/pprof/: the profile index must serve.
+	pprofBody, code := get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if !strings.Contains(pprofBody, "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+}
+
+// TestBadRequestCounter: a malformed frame is answered with an error
+// frame and counted as a bad request.
+func TestBadRequestCounter(t *testing.T) {
+	m := testModel(t)
+	reg := obs.NewRegistry()
+	s := New(m, 1)
+	s.Logf = t.Logf
+	s.Obs = reg
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// An unknown opcode is answered with an error frame and counted.
+	if err := writeFrame(c.conn, []byte{0x7f, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(c.conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodePredictResponse(payload); err == nil {
+		t.Error("unknown opcode not answered with an error frame")
+	}
+	if got := reg.Counter("server_bad_requests_total").Value(); got != 1 {
+		t.Errorf("server_bad_requests_total = %d, want 1", got)
+	}
 }

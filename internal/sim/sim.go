@@ -7,6 +7,7 @@ package sim
 import (
 	"fmt"
 
+	"lfo/internal/obs"
 	"lfo/internal/trace"
 )
 
@@ -41,6 +42,9 @@ type WindowMetrics struct {
 	Hits     int
 	ReqBytes int64
 	HitBytes int64
+	// MissCost is the summed Cost of the window's missed requests (the
+	// per-window share of Metrics.MissCost).
+	MissCost float64
 }
 
 // BHR returns the byte hit ratio.
@@ -83,6 +87,11 @@ type Options struct {
 	// WindowSize, when positive, also records metrics per window of
 	// WindowSize requests (warmup requests are never windowed).
 	WindowSize int
+	// Obs, when set, accumulates run totals (sim_runs_total,
+	// sim_requests_total, sim_hits_total, sim_req_bytes_total,
+	// sim_hit_bytes_total) after each Run. Recording happens once per
+	// run, off the request loop, and never affects results.
+	Obs *obs.Registry
 }
 
 // Run replays the trace against the policy and returns metrics.
@@ -117,8 +126,17 @@ func Run(tr *trace.Trace, p Policy, opts Options) *Metrics {
 			if hit {
 				cur.Hits++
 				cur.HitBytes += r.Size
+			} else {
+				cur.MissCost += r.Cost
 			}
 		}
+	}
+	if opts.Obs != nil {
+		opts.Obs.Counter("sim_runs_total").Inc()
+		opts.Obs.Counter("sim_requests_total").Add(int64(m.Requests))
+		opts.Obs.Counter("sim_hits_total").Add(int64(m.Hits))
+		opts.Obs.Counter("sim_req_bytes_total").Add(m.ReqBytes)
+		opts.Obs.Counter("sim_hit_bytes_total").Add(m.HitBytes)
 	}
 	return m
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"lfo/internal/obs"
 	"lfo/internal/trace"
 )
 
@@ -89,6 +90,80 @@ func TestRunWindows(t *testing.T) {
 	}
 	if m.Windows[1].OHR() != 0.5 {
 		t.Errorf("window 1 OHR = %g, want 0.5", m.Windows[1].OHR())
+	}
+}
+
+func TestRunWindowsWithWarmupAndMissCost(t *testing.T) {
+	// 10 requests; odd object IDs repeat so admitAll alternates miss/hit:
+	// ids 1..5 each requested twice, first = miss (cost), second = hit.
+	tr := &trace.Trace{}
+	for i := 0; i < 10; i++ {
+		id := trace.ObjectID(i/2 + 1)
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time: int64(i), ID: id, Size: 10, Cost: float64(id),
+		})
+	}
+	m := Run(tr, &admitAll{}, Options{Warmup: 3, WindowSize: 3})
+
+	// 7 measured requests in windows of 3: starts at 3, 6, 9; the last
+	// window is partial (1 request).
+	if len(m.Windows) != 3 {
+		t.Fatalf("windows = %d, want 3", len(m.Windows))
+	}
+	for i, wantStart := range []int{3, 6, 9} {
+		if m.Windows[i].Start != wantStart {
+			t.Errorf("window %d Start = %d, want %d", i, m.Windows[i].Start, wantStart)
+		}
+	}
+	if m.Windows[0].Requests != 3 || m.Windows[1].Requests != 3 || m.Windows[2].Requests != 1 {
+		t.Errorf("window requests = %d,%d,%d, want 3,3,1",
+			m.Windows[0].Requests, m.Windows[1].Requests, m.Windows[2].Requests)
+	}
+
+	// Request i misses iff i is even (first touch of its object), costing
+	// id = i/2+1. Measured misses: i=4 (cost 3), i=6 (cost 4), i=8
+	// (cost 5) -> windows [3,6): 3, [6,9): 4+5, [9,10): 0.
+	wantWindowCosts := []float64{3, 9, 0}
+	var sum float64
+	for i, w := range m.Windows {
+		if w.MissCost != wantWindowCosts[i] {
+			t.Errorf("window %d MissCost = %g, want %g", i, w.MissCost, wantWindowCosts[i])
+		}
+		sum += w.MissCost
+	}
+	// Per-window miss costs must partition the run total (warmup covers
+	// the full first windowed request range here, so totals align).
+	if sum != m.MissCost {
+		t.Errorf("window MissCost sum %g != total %g", sum, m.MissCost)
+	}
+	// Hits after warmup: i=3,5,7,9 (odd = second touch).
+	if m.Hits != 4 || m.Requests != 7 {
+		t.Errorf("Hits,Requests = %d,%d, want 4,7", m.Hits, m.Requests)
+	}
+}
+
+func TestRunRecordsObsTotals(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := Run(testTrace(), &admitAll{}, Options{Obs: reg})
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{"sim_runs_total", 1},
+		{"sim_requests_total", int64(m.Requests)},
+		{"sim_hits_total", int64(m.Hits)},
+		{"sim_req_bytes_total", m.ReqBytes},
+		{"sim_hit_bytes_total", m.HitBytes},
+	}
+	for _, c := range checks {
+		if got := reg.Counter(c.name).Value(); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+	// A second run accumulates.
+	Run(testTrace(), &admitAll{}, Options{Obs: reg})
+	if got := reg.Counter("sim_runs_total").Value(); got != 2 {
+		t.Errorf("sim_runs_total after second run = %d, want 2", got)
 	}
 }
 

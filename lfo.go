@@ -23,12 +23,14 @@ package lfo
 
 import (
 	"io"
+	"net"
 
 	"lfo/internal/core"
 	"lfo/internal/features"
 	"lfo/internal/gbdt"
 	"lfo/internal/gen"
 	"lfo/internal/mrc"
+	"lfo/internal/obs"
 	"lfo/internal/opt"
 	"lfo/internal/policy"
 	"lfo/internal/server"
@@ -141,9 +143,35 @@ type (
 	RetrainStats = core.RetrainStats
 )
 
+// CutoffAdmitAll is the CacheConfig.Cutoff sentinel for an effective
+// admission cutoff of exactly 0 (a literal 0 means "unset" → 0.5).
+const CutoffAdmitAll = core.CutoffAdmitAll
+
 // NewCache returns an LFO cache. Until its first window completes it
 // bootstraps as admit-all LRU.
 func NewCache(cfg CacheConfig) (*Cache, error) { return core.New(cfg) }
+
+// Observability (see internal/obs).
+type (
+	// MetricsRegistry collects atomic counters, gauges and latency
+	// histograms from the cache, simulator, OPT solver and prediction
+	// server. Pass one via CacheConfig.Obs, SimOptions.Obs,
+	// OPTConfig.Obs or PredictionServer.Obs; recording is lock- and
+	// allocation-free and a nil registry disables it entirely.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time view of a MetricsRegistry.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeDebug binds addr with an HTTP listener serving /metrics (flat
+// "name value" text), /debug/vars (expvar) and /debug/pprof/ for the
+// registry. It returns the bound address and a stop function.
+func ServeDebug(addr string, r *MetricsRegistry) (net.Addr, func() error, error) {
+	return obs.ServeDebug(addr, r)
+}
 
 // OPT computation (see internal/opt).
 type (

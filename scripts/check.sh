@@ -35,6 +35,6 @@ go test ./...
 step "go test -race (concurrent packages)"
 go test -race ./internal/server ./internal/tiered ./internal/sim \
     ./internal/par ./internal/gbdt ./internal/features ./internal/core \
-    ./internal/opt ./internal/mcf
+    ./internal/opt ./internal/mcf ./internal/obs
 
 echo "ALL CHECKS PASSED"
