@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"lfo/internal/cliutil"
 	"lfo/internal/core"
@@ -43,6 +44,12 @@ func main() {
 		workers    = flag.Int("workers", 0, "prediction parallelism per request batch (0 = serial)")
 		maxTracked = flag.Int("max-tracked", 0, "per-connection admit tracker bound in objects (0 = default 1<<22, negative = unbounded)")
 		saveModel  = flag.String("save-model", "", "after training, save the model here")
+
+		readTimeout  = flag.Duration("read-timeout", 0, "per-frame read deadline (0 = default 2m, negative = none)")
+		writeTimeout = flag.Duration("write-timeout", 0, "response write deadline (0 = default 30s, negative = none)")
+		drainTimeout = flag.Duration("drain-timeout", 0, "graceful shutdown drain bound (0 = default 5s, negative = wait forever)")
+		maxFrame     = flag.Int("max-frame", 0, "request frame payload bound in bytes (0 = default 64MiB, negative = unbounded)")
+		maxConns     = flag.Int("max-conns", 0, "concurrent connection bound (0 = default 1024, negative = unbounded)")
 	)
 	flag.Parse()
 
@@ -64,7 +71,17 @@ func main() {
 		fmt.Printf("model saved to %s\n", *saveModel)
 	}
 
-	srv, dbg, err := buildServer(model, *workers, *maxTracked, *debugAddr)
+	cfg := serveConfig{
+		workers:      *workers,
+		maxTracked:   *maxTracked,
+		readTimeout:  *readTimeout,
+		writeTimeout: *writeTimeout,
+		drainTimeout: *drainTimeout,
+		maxFrame:     *maxFrame,
+		maxConns:     *maxConns,
+		degradeLog:   func(line string) { fmt.Fprintln(os.Stderr, line) },
+	}
+	srv, dbg, err := buildServer(model, cfg, *debugAddr)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -95,12 +112,48 @@ type debugListener struct {
 	stop func() error
 }
 
+// serveConfig carries the serving-path flags into buildServer. Zero
+// values defer to the server package's safe defaults (negative disables
+// a knob, matching the flag help text).
+type serveConfig struct {
+	workers      int
+	maxTracked   int
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	drainTimeout time.Duration
+	maxFrame     int
+	maxConns     int
+	degradeLog   func(line string) // sink for one structured line per degradation event
+}
+
+// degradeLine renders a degradation event as one structured key=value
+// log line, stable enough to grep or ship to a log pipeline.
+func degradeLine(ev server.DegradeEvent) string {
+	remote := ev.Remote
+	if remote == "" {
+		remote = "-"
+	}
+	if ev.Err != nil {
+		return fmt.Sprintf("predserve: degrade kind=%s remote=%s err=%q", ev.Kind, remote, ev.Err)
+	}
+	return fmt.Sprintf("predserve: degrade kind=%s remote=%s", ev.Kind, remote)
+}
+
 // buildServer assembles the prediction server and, when debugAddr is
 // non-empty, an obs registry plus its debug HTTP listener. Split from
 // main so tests can exercise the exact wiring the flags produce.
-func buildServer(model *gbdt.Model, workers, maxTracked int, debugAddr string) (*server.Server, *debugListener, error) {
-	srv := server.New(model, workers)
-	srv.MaxTrackedObjects = maxTracked
+func buildServer(model *gbdt.Model, cfg serveConfig, debugAddr string) (*server.Server, *debugListener, error) {
+	srv := server.New(model, cfg.workers)
+	srv.MaxTrackedObjects = cfg.maxTracked
+	srv.ReadTimeout = cfg.readTimeout
+	srv.WriteTimeout = cfg.writeTimeout
+	srv.DrainTimeout = cfg.drainTimeout
+	srv.MaxFramePayload = cfg.maxFrame
+	srv.MaxConns = cfg.maxConns
+	if cfg.degradeLog != nil {
+		sink := cfg.degradeLog
+		srv.OnDegrade = func(ev server.DegradeEvent) { sink(degradeLine(ev)) }
+	}
 	if debugAddr == "" {
 		return srv, nil, nil
 	}

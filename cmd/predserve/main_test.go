@@ -2,10 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"lfo/internal/features"
 	"lfo/internal/gbdt"
@@ -18,7 +20,7 @@ import (
 // round-trip.
 func TestDebugAddrServesLiveCounts(t *testing.T) {
 	model := &gbdt.Model{Dim: features.Dim, BaseScore: 1}
-	srv, dbg, err := buildServer(model, 1, 0, "127.0.0.1:0")
+	srv, dbg, err := buildServer(model, serveConfig{workers: 1}, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +98,7 @@ func TestDebugAddrServesLiveCounts(t *testing.T) {
 // no listener.
 func TestBuildServerWithoutDebugAddr(t *testing.T) {
 	model := &gbdt.Model{Dim: features.Dim}
-	srv, dbg, err := buildServer(model, 1, 7, "")
+	srv, dbg, err := buildServer(model, serveConfig{workers: 1, maxTracked: 7}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,5 +110,47 @@ func TestBuildServerWithoutDebugAddr(t *testing.T) {
 	}
 	if srv.MaxTrackedObjects != 7 {
 		t.Errorf("MaxTrackedObjects = %d, want 7", srv.MaxTrackedObjects)
+	}
+}
+
+// TestServingFlagsReachServer: every serving-path flag value must land
+// on the corresponding server knob, and a degradation event must come
+// out as exactly one structured log line.
+func TestServingFlagsReachServer(t *testing.T) {
+	var lines []string
+	cfg := serveConfig{
+		workers:      1,
+		readTimeout:  3 * time.Second,
+		writeTimeout: 4 * time.Second,
+		drainTimeout: 5 * time.Second,
+		maxFrame:     1 << 16,
+		maxConns:     9,
+		degradeLog:   func(line string) { lines = append(lines, line) },
+	}
+	srv, _, err := buildServer(&gbdt.Model{Dim: features.Dim}, cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.ReadTimeout != cfg.readTimeout || srv.WriteTimeout != cfg.writeTimeout ||
+		srv.DrainTimeout != cfg.drainTimeout || srv.MaxFramePayload != cfg.maxFrame ||
+		srv.MaxConns != cfg.maxConns {
+		t.Errorf("flags not wired: server = %+v", srv)
+	}
+	if srv.OnDegrade == nil {
+		t.Fatal("OnDegrade not wired")
+	}
+	srv.OnDegrade(server.DegradeEvent{Kind: "read_timeout", Remote: "1.2.3.4:5", Err: errors.New("boom")})
+	srv.OnDegrade(server.DegradeEvent{Kind: "conn_limit"})
+	want := []string{
+		`predserve: degrade kind=read_timeout remote=1.2.3.4:5 err="boom"`,
+		"predserve: degrade kind=conn_limit remote=-",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("degrade lines = %q, want %q", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("degrade line %d = %q, want %q", i, lines[i], want[i])
+		}
 	}
 }

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lfo/internal/faultnet"
+	"lfo/internal/features"
+	"lfo/internal/gbdt"
+	"lfo/internal/obs"
+	"lfo/internal/server"
+	"lfo/internal/trace"
+)
+
+// chaosPipeListener mirrors the server package's test listener: an
+// in-memory net.Listener over net.Pipe, so fault-schedule op indices
+// never depend on kernel timing.
+type chaosPipeListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+func newChaosPipeListener() *chaosPipeListener {
+	return &chaosPipeListener{ch: make(chan net.Conn, 64), done: make(chan struct{})}
+}
+
+func (l *chaosPipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *chaosPipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+type chaosPipeAddr struct{}
+
+func (chaosPipeAddr) Network() string { return "pipe" }
+func (chaosPipeAddr) String() string  { return "pipe" }
+
+func (l *chaosPipeListener) Addr() net.Addr { return chaosPipeAddr{} }
+
+func (l *chaosPipeListener) dial() (net.Conn, error) {
+	client, srv := net.Pipe()
+	select {
+	case l.ch <- srv:
+		return client, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func chaosAdmitModel(t *testing.T) *gbdt.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	ds := gbdt.NewDataset(features.Dim)
+	row := make([]float64, features.Dim)
+	for i := 0; i < 2000; i++ {
+		for j := range row {
+			row[j] = rng.Float64() * 100
+		}
+		label := 0.0
+		if row[features.FeatSize] > 50 {
+			label = 1
+		}
+		ds.Append(row, label)
+	}
+	p := gbdt.DefaultParams()
+	p.NumIterations = 5
+	m, err := gbdt.Train(ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runFallbackChaos drives admissions through a faulty serving path with
+// client retries disabled, so every conn-killing fault becomes exactly
+// one heuristic fallback. Returns the decision log and the fallback
+// accounting.
+func runFallbackChaos(t *testing.T, seed uint64) (string, int64, int64, int64) {
+	t.Helper()
+	m := chaosAdmitModel(t)
+	s := server.New(m, 1)
+	s.Logf = func(format string, args ...interface{}) {}
+	s.Obs = obs.NewRegistry()
+	s.ReadTimeout = 100 * time.Millisecond
+	s.WriteTimeout = 100 * time.Millisecond
+	sched := faultnet.NewSchedule(faultnet.Config{
+		Seed:      seed,
+		ShortRead: 30, ShortWrite: 30,
+		StallRead: 15, StallWrite: 15,
+		DropRead: 30, DropWrite: 30,
+		MaxShort: 6,
+	})
+	pl := newChaosPipeListener()
+	s.Serve(faultnet.Wrap(pl, sched))
+	defer s.Close()
+
+	creg := obs.NewRegistry()
+	c, err := server.DialConfig("pipe", server.ClientConfig{
+		Timeout:    2 * time.Second,
+		MaxRetries: -1, // no retries: every transport fault degrades one admission
+		Dial:       pl.dial,
+		Obs:        creg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	areg := obs.NewRegistry()
+	adm, err := NewRemoteAdmitter(c, RemoteAdmitterConfig{Obs: areg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var decisions strings.Builder
+	const calls = 120
+	for i := 0; i < calls; i++ {
+		r := trace.Request{Time: int64(i), ID: trace.ObjectID(i % 17), Size: int64(100 + i%5*50), Cost: 1}
+		ok, lik := adm.Admit(r, 1<<19)
+		adm.Observe(r)
+		fmt.Fprintf(&decisions, "%d %v %.6f\n", i, ok, lik)
+	}
+	fallbacks := areg.Counter("core_remote_fallbacks_total").Value()
+	predictions := areg.Counter("core_remote_predictions_total").Value()
+	failures := creg.Counter("client_failures_total").Value()
+	if predictions+fallbacks != calls {
+		t.Errorf("predictions %d + fallbacks %d != %d calls", predictions, fallbacks, calls)
+	}
+	return decisions.String(), fallbacks, predictions, failures
+}
+
+// TestRemoteAdmitterChaosFallback: under injected serving-path faults
+// with retries disabled, no admission ever errors — each failed remote
+// call degrades to the heuristic, counted exactly once per client
+// failure — and the whole degraded run is deterministic.
+func TestRemoteAdmitterChaosFallback(t *testing.T) {
+	dec1, fb1, pred1, fail1 := runFallbackChaos(t, 5)
+	if fb1 == 0 {
+		t.Fatal("chaos schedule never forced a fallback")
+	}
+	if pred1 == 0 {
+		t.Fatal("chaos schedule never let a remote prediction through")
+	}
+	if fb1 != fail1 {
+		t.Errorf("fallbacks %d != client failures %d", fb1, fail1)
+	}
+	dec2, fb2, pred2, fail2 := runFallbackChaos(t, 5)
+	if dec1 != dec2 || fb1 != fb2 || pred1 != pred2 || fail1 != fail2 {
+		t.Errorf("degraded run not deterministic: (%d,%d,%d) vs (%d,%d,%d)",
+			fb1, pred1, fail1, fb2, pred2, fail2)
+	}
+}

@@ -1,0 +1,182 @@
+package gbdt
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedModel trains a tiny deterministic model for the seed corpus.
+func fuzzSeedModel() *Model {
+	rng := rand.New(rand.NewSource(11))
+	ds := NewDataset(4)
+	row := make([]float64, 4)
+	for i := 0; i < 400; i++ {
+		for j := range row {
+			row[j] = rng.Float64() * 10
+		}
+		label := 0.0
+		if row[0]+row[2] > 10 {
+			label = 1
+		}
+		ds.Append(row, label)
+	}
+	p := DefaultParams()
+	p.NumIterations = 3
+	m, err := Train(ds, p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FuzzModelLoad feeds arbitrary bytes through the gob model parser.
+// Whatever Load accepts must be safe to evaluate (no panic, no endless
+// walk) and must survive a serialize/parse round trip bit-exactly.
+func FuzzModelLoad(f *testing.F) {
+	var buf bytes.Buffer
+	if err := fuzzSeedModel().Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Corrupted variants of the valid stream: truncations and byte flips
+	// at a few offsets.
+	f.Add(valid[:len(valid)/2])
+	for _, off := range []int{8, len(valid) / 3, len(valid) - 9} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0x41
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if m.Dim <= 0 {
+			t.Fatalf("Load accepted dim %d", m.Dim)
+		}
+		// Hostile streams can claim absurd dims with no trees to back
+		// them; evaluating those would just be the harness allocating a
+		// giant row, not a model defect.
+		if m.Dim > 1<<12 {
+			return
+		}
+		row := make([]float64, m.Dim)
+		for i := range row {
+			row[i] = float64(i%7) - 3
+		}
+		p := m.Predict(row) // must terminate, whatever the tree shape
+
+		// Round trip: anything Load accepts, Save must reproduce.
+		var out bytes.Buffer
+		if err := m.Save(&out); err != nil {
+			t.Fatalf("Save of a loaded model failed: %v", err)
+		}
+		m2, err := Load(&out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if m2.Dim != m.Dim || len(m2.Trees) != len(m.Trees) {
+			t.Fatalf("round trip changed shape: dim %d→%d, trees %d→%d", m.Dim, m2.Dim, len(m.Trees), len(m2.Trees))
+		}
+		p2 := m2.Predict(row)
+		if p != p2 && !(math.IsNaN(p) && math.IsNaN(p2)) {
+			t.Fatalf("round trip changed prediction: %v → %v", p, p2)
+		}
+	})
+}
+
+// TestRegenerateFuzzCorpus rewrites the committed seed corpus under
+// testdata/fuzz when LFO_REGEN_CORPUS=1 is set; otherwise it is a no-op.
+// The committed files mirror the in-code f.Add seeds so `go test` (and
+// the check.sh fuzz smoke) always replays them from a fresh checkout.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("LFO_REGEN_CORPUS") == "" {
+		t.Skip("set LFO_REGEN_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	var buf bytes.Buffer
+	if err := fuzzSeedModel().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x41
+	seeds := map[string][]byte{
+		"seed-valid-model":  valid,
+		"seed-truncated":    valid[:len(valid)/2],
+		"seed-bitflip":      flipped,
+		"seed-not-gob":      []byte("not a gob stream"),
+		"seed-empty-stream": {},
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzModelLoad")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(entry), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoadRejectsHostileModels pins the validation Load performs beyond
+// gob decoding: structures that would make predict panic or never return
+// must be rejected.
+func TestLoadRejectsHostileModels(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Model
+	}{
+		{"empty tree", Model{Dim: 4, Trees: []Tree{{}}}},
+		{"feature out of range", Model{Dim: 4, Trees: []Tree{{Nodes: []node{
+			{Feature: 9, Left: 1, Right: 2}, {Feature: -1}, {Feature: -1},
+		}}}}},
+		{"child out of range", Model{Dim: 4, Trees: []Tree{{Nodes: []node{
+			{Feature: 0, Left: 1, Right: 7}, {Feature: -1},
+		}}}}},
+		{"self cycle", Model{Dim: 4, Trees: []Tree{{Nodes: []node{
+			{Feature: 0, Left: 0, Right: 0},
+		}}}}},
+		{"backward cycle", Model{Dim: 4, Trees: []Tree{{Nodes: []node{
+			{Feature: 0, Left: 1, Right: 2}, {Feature: -1}, {Feature: 1, Left: 0, Right: 1},
+		}}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.m.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Load(&buf); err == nil {
+				t.Error("hostile model accepted")
+			}
+		})
+	}
+}
+
+// TestLoadAcceptsTrainedModels: validation must not reject anything the
+// trainer actually produces.
+func TestLoadAcceptsTrainedModels(t *testing.T) {
+	m := fuzzSeedModel()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("trained model rejected: %v", err)
+	}
+	row := []float64{1, 2, 3, 4}
+	if got, want := m2.Predict(row), m.Predict(row); got != want {
+		t.Errorf("round trip changed prediction: %v != %v", got, want)
+	}
+}

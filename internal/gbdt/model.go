@@ -91,7 +91,12 @@ func (m *Model) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(m)
 }
 
-// Load deserializes a model written by Save.
+// Load deserializes a model written by Save. The decoded structure is
+// validated so a corrupted or hostile stream cannot yield a model whose
+// predict walk panics or loops: every split feature must be within Dim,
+// and child indices must point past their parent (the shape the trainer
+// emits — children are always appended after the node that split), which
+// makes every walk strictly increasing and therefore terminating.
 func Load(r io.Reader) (*Model, error) {
 	var m Model
 	if err := gob.NewDecoder(r).Decode(&m); err != nil {
@@ -99,6 +104,25 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	if m.Dim <= 0 {
 		return nil, fmt.Errorf("gbdt: loaded model has invalid dim %d", m.Dim)
+	}
+	for ti := range m.Trees {
+		t := &m.Trees[ti]
+		if len(t.Nodes) == 0 {
+			return nil, fmt.Errorf("gbdt: loaded model tree %d has no nodes", ti)
+		}
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			if n.Feature < 0 {
+				continue // leaf
+			}
+			if int(n.Feature) >= m.Dim {
+				return nil, fmt.Errorf("gbdt: loaded model tree %d node %d splits feature %d, dim %d", ti, i, n.Feature, m.Dim)
+			}
+			if n.Left <= int32(i) || int(n.Left) >= len(t.Nodes) ||
+				n.Right <= int32(i) || int(n.Right) >= len(t.Nodes) {
+				return nil, fmt.Errorf("gbdt: loaded model tree %d node %d has out-of-order children (%d, %d)", ti, i, n.Left, n.Right)
+			}
+		}
 	}
 	return &m, nil
 }

@@ -1,0 +1,160 @@
+package par_test
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"lfo/internal/par"
+)
+
+// span is one callback invocation recorded by the property harness.
+type span struct {
+	shard  int // -1 for Ranges, which has no shard index
+	lo, hi int
+}
+
+// collectRanges runs Ranges and returns every chunk it produced, sorted
+// by lo (chunks run concurrently, so arrival order is meaningless).
+func collectRanges(n, workers, minChunk int) []span {
+	var mu sync.Mutex
+	var out []span
+	par.Ranges(n, workers, minChunk, func(lo, hi int) {
+		mu.Lock()
+		out = append(out, span{shard: -1, lo: lo, hi: hi})
+		mu.Unlock()
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].lo < out[j].lo })
+	return out
+}
+
+// collectShards runs Shards and returns every shard callback, sorted by
+// shard index, plus the raw arrival order of shard indices.
+func collectShards(n, shardSize, workers int) ([]span, []int) {
+	var mu sync.Mutex
+	var out []span
+	var order []int
+	par.Shards(n, shardSize, workers, func(shard, lo, hi int) {
+		mu.Lock()
+		out = append(out, span{shard: shard, lo: lo, hi: hi})
+		order = append(order, shard)
+		mu.Unlock()
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].shard < out[j].shard })
+	return out, order
+}
+
+// checkTiling asserts the sorted spans tile [0, n) exactly: first chunk
+// starts at 0, every chunk is non-empty, consecutive chunks touch with
+// no gap or overlap, and the last chunk ends at n.
+func checkTiling(t *testing.T, spans []span, n int, label string) {
+	t.Helper()
+	if n <= 0 {
+		if len(spans) != 0 {
+			t.Errorf("%s: n=%d produced %d chunks, want none", label, n, len(spans))
+		}
+		return
+	}
+	if len(spans) == 0 {
+		t.Errorf("%s: n=%d produced no chunks", label, n)
+		return
+	}
+	next := 0
+	for i, s := range spans {
+		if s.lo != next {
+			t.Errorf("%s: chunk %d starts at %d, want %d (gap or overlap)", label, i, s.lo, next)
+			return
+		}
+		if s.hi <= s.lo {
+			t.Errorf("%s: chunk %d is empty [%d, %d)", label, i, s.lo, s.hi)
+			return
+		}
+		next = s.hi
+	}
+	if next != n {
+		t.Errorf("%s: chunks end at %d, want %d", label, next, n)
+	}
+}
+
+// TestRangesProperty: for seeded-random (n, workers, minChunk), the
+// chunks Ranges produces always tile [0, n) exactly once — no index
+// visited twice, none skipped, regardless of worker count.
+func TestRangesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(5000) - 10 // includes n <= 0
+		workers := rng.Intn(20) - 3
+		minChunk := rng.Intn(200) - 5
+		spans := collectRanges(n, workers, minChunk)
+		checkTiling(t, spans, n, "Ranges")
+		// At most Resolve(workers) chunks, each at least minChunk wide
+		// except possibly the last (the remainder).
+		if w := par.Resolve(workers); len(spans) > w {
+			t.Errorf("Ranges(n=%d, workers=%d): %d chunks > %d workers", n, workers, len(spans), w)
+		}
+	}
+}
+
+// TestShardsProperty: for seeded-random (n, shardSize, workers), shard s
+// must cover exactly [s*shardSize, min((s+1)*shardSize, n)), every shard
+// index in [0, NumShards) fires exactly once, and the decomposition is
+// identical for every worker count — only scheduling changes.
+func TestShardsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(4000) - 10
+		shardSize := rng.Intn(150) - 5
+		workers := 1 + rng.Intn(8)
+
+		spans, _ := collectShards(n, shardSize, workers)
+		checkTiling(t, spans, n, "Shards")
+
+		effSize := shardSize
+		if effSize < 1 {
+			effSize = 1
+		}
+		want := par.NumShards(n, shardSize)
+		if len(spans) != want {
+			t.Fatalf("Shards(n=%d, size=%d): %d callbacks, NumShards says %d", n, shardSize, len(spans), want)
+		}
+		for i, s := range spans {
+			if s.shard != i {
+				t.Fatalf("Shards(n=%d, size=%d): shard index %d fired %d times or out of set", n, shardSize, i, s.shard)
+			}
+			wantLo := i * effSize
+			wantHi := wantLo + effSize
+			if wantHi > n {
+				wantHi = n
+			}
+			if s.lo != wantLo || s.hi != wantHi {
+				t.Fatalf("shard %d covers [%d, %d), want [%d, %d)", i, s.lo, s.hi, wantLo, wantHi)
+			}
+		}
+
+		// Worker-count independence: the (shard, lo, hi) set is fixed.
+		again, _ := collectShards(n, shardSize, 1+rng.Intn(8))
+		for i := range spans {
+			if spans[i] != again[i] {
+				t.Fatalf("shard decomposition depends on workers: %+v vs %+v", spans[i], again[i])
+			}
+		}
+	}
+}
+
+// TestShardsSequentialOrder: with workers <= 1 the shards must run
+// inline, in ascending shard order — callers rely on this for ordered
+// reductions without an extra sort.
+func TestShardsSequentialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		shardSize := 1 + rng.Intn(100)
+		_, order := collectShards(n, shardSize, 1)
+		for i, s := range order {
+			if s != i {
+				t.Fatalf("sequential Shards ran shard %d at position %d", s, i)
+			}
+		}
+	}
+}

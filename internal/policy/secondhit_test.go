@@ -1,0 +1,73 @@
+package policy
+
+import (
+	"testing"
+
+	"lfo/internal/trace"
+)
+
+func shReq(id trace.ObjectID) trace.Request {
+	return trace.Request{ID: id, Size: 100, Cost: 1}
+}
+
+func TestSecondHitCensorAdmitsOnSecondRequest(t *testing.T) {
+	p := NewSecondHitCensor(0)
+	if ok, lik := p.Admit(shReq(1), 0); ok || lik != 0 {
+		t.Errorf("first request admitted (ok=%v lik=%v)", ok, lik)
+	}
+	p.Observe(shReq(1))
+	if ok, lik := p.Admit(shReq(1), 0); !ok || lik != 1 {
+		t.Errorf("second request not admitted (ok=%v lik=%v)", ok, lik)
+	}
+	// Other objects remain unseen.
+	if ok, _ := p.Admit(shReq(2), 0); ok {
+		t.Error("unseen object admitted")
+	}
+}
+
+func TestSecondHitCensorRotatesGenerations(t *testing.T) {
+	p := NewSecondHitCensor(2)
+	// Fill generation 1 with {1,2}, then force two rotations with {3,4}
+	// and {5,6}: object 1 must be forgotten, recent ones remembered.
+	for id := trace.ObjectID(1); id <= 6; id++ {
+		p.Observe(shReq(id))
+	}
+	if ok, _ := p.Admit(shReq(1), 0); ok {
+		t.Error("object from two generations ago still admitted")
+	}
+	for id := trace.ObjectID(5); id <= 6; id++ {
+		if ok, _ := p.Admit(shReq(id), 0); !ok {
+			t.Errorf("recent object %d not admitted", id)
+		}
+	}
+	// Memory stays bounded by 2×maxIDs.
+	if total := len(p.cur) + len(p.prev); total > 4 {
+		t.Errorf("censor remembers %d IDs, bound is 4", total)
+	}
+}
+
+func TestSecondHitCensorRepeatsDoNotRotate(t *testing.T) {
+	p := NewSecondHitCensor(2)
+	p.Observe(shReq(1))
+	p.Observe(shReq(2))
+	// Re-observing a known object at the bound must not discard history.
+	p.Observe(shReq(1))
+	p.Observe(shReq(2))
+	for id := trace.ObjectID(1); id <= 2; id++ {
+		if ok, _ := p.Admit(shReq(id), 0); !ok {
+			t.Errorf("repeated object %d forgotten by spurious rotation", id)
+		}
+	}
+}
+
+func TestSecondHitCensorUnbounded(t *testing.T) {
+	p := NewSecondHitCensor(-1)
+	for id := trace.ObjectID(0); id < 1000; id++ {
+		p.Observe(shReq(id))
+	}
+	for id := trace.ObjectID(0); id < 1000; id++ {
+		if ok, _ := p.Admit(shReq(id), 0); !ok {
+			t.Fatalf("unbounded censor forgot object %d", id)
+		}
+	}
+}

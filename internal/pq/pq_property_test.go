@@ -1,0 +1,187 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+
+	"lfo/internal/trace"
+)
+
+// refEntry mirrors one queue element in the naive reference model.
+type refEntry struct {
+	prio float64
+	tie  uint64
+}
+
+// refModel is the O(n)-per-op reference the heap is checked against: a
+// plain map with linear scans for the minimum, using the same
+// (priority, insertion-sequence) ordering.
+type refModel struct {
+	entries map[trace.ObjectID]refEntry
+	seq     uint64
+}
+
+func newRefModel() *refModel {
+	return &refModel{entries: make(map[trace.ObjectID]refEntry)}
+}
+
+func (r *refModel) push(id trace.ObjectID, prio float64) {
+	r.seq++
+	r.entries[id] = refEntry{prio: prio, tie: r.seq}
+}
+
+func (r *refModel) update(id trace.ObjectID, prio float64) {
+	r.seq++
+	r.entries[id] = refEntry{prio: prio, tie: r.seq}
+}
+
+func (r *refModel) remove(id trace.ObjectID) { delete(r.entries, id) }
+
+func (r *refModel) min() (trace.ObjectID, float64) {
+	var bestID trace.ObjectID
+	var best refEntry
+	first := true
+	for id, e := range r.entries {
+		if first || e.prio < best.prio || (e.prio == best.prio && e.tie < best.tie) {
+			bestID, best, first = id, e, false
+		}
+	}
+	return bestID, best.prio
+}
+
+// checkInvariants verifies the structural invariants the heap's public
+// behaviour rests on: the heap property at every edge, index fields that
+// match positions, and a byID map in exact sync with the slice.
+func checkInvariants(t *testing.T, q *Queue) {
+	t.Helper()
+	n := len(q.items)
+	for i, e := range q.items {
+		if e.index != i {
+			t.Fatalf("items[%d].index = %d", i, e.index)
+		}
+		if got, ok := q.byID[e.id]; !ok || got != e {
+			t.Fatalf("byID[%d] out of sync with items[%d]", e.id, i)
+		}
+		if l := 2*i + 1; l < n && q.less(l, i) {
+			t.Fatalf("heap violation: items[%d] < parent items[%d]", l, i)
+		}
+		if r := 2*i + 2; r < n && q.less(r, i) {
+			t.Fatalf("heap violation: items[%d] < parent items[%d]", r, i)
+		}
+	}
+	if len(q.byID) != n {
+		t.Fatalf("byID has %d entries, items has %d", len(q.byID), n)
+	}
+}
+
+// TestQueueMatchesReference drives seeded-random op sequences through
+// the heap and the naive reference together. After every op the heap
+// invariants must hold and Min/Priority/PopMin must agree with linear
+// scans — including tie-breaks, which follow insertion sequence.
+func TestQueueMatchesReference(t *testing.T) {
+	for _, seed := range []int64{1, 17, 4242} {
+		rng := rand.New(rand.NewSource(seed))
+		q := New()
+		ref := newRefModel()
+		live := []trace.ObjectID{}
+		nextID := trace.ObjectID(1)
+
+		pickLive := func() trace.ObjectID { return live[rng.Intn(len(live))] }
+		dropLive := func(id trace.ObjectID) {
+			for i, v := range live {
+				if v == id {
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					return
+				}
+			}
+			t.Fatalf("id %d not in live set", id)
+		}
+		// Coarse priorities force frequent ties so the insertion-sequence
+		// tie-break actually gets exercised.
+		randPrio := func() float64 { return float64(rng.Intn(8)) }
+
+		for op := 0; op < 3000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 4 || len(live) == 0: // push
+				id := nextID
+				nextID++
+				p := randPrio()
+				q.Push(id, p)
+				ref.push(id, p)
+				live = append(live, id)
+			case r < 6: // update
+				id := pickLive()
+				p := randPrio()
+				q.Update(id, p)
+				ref.update(id, p)
+			case r < 8: // remove
+				id := pickLive()
+				q.Remove(id)
+				ref.remove(id)
+				dropLive(id)
+			default: // pop min
+				wantID, wantPrio := ref.min()
+				gotID, gotPrio := q.PopMin()
+				if gotID != wantID || gotPrio != wantPrio {
+					t.Fatalf("seed %d op %d: PopMin = (%d, %g), reference (%d, %g)", seed, op, gotID, gotPrio, wantID, wantPrio)
+				}
+				ref.remove(wantID)
+				dropLive(wantID)
+			}
+			checkInvariants(t, q)
+			if q.Len() != len(ref.entries) {
+				t.Fatalf("seed %d op %d: Len = %d, reference %d", seed, op, q.Len(), len(ref.entries))
+			}
+			if q.Len() > 0 {
+				wantID, wantPrio := ref.min()
+				gotID, gotPrio := q.Min()
+				if gotID != wantID || gotPrio != wantPrio {
+					t.Fatalf("seed %d op %d: Min = (%d, %g), reference (%d, %g)", seed, op, gotID, gotPrio, wantID, wantPrio)
+				}
+				probe := pickLive()
+				gotP, ok := q.Priority(probe)
+				if !ok || gotP != ref.entries[probe].prio {
+					t.Fatalf("seed %d op %d: Priority(%d) = (%g, %v), reference %g", seed, op, probe, gotP, ok, ref.entries[probe].prio)
+				}
+			}
+		}
+
+		// Drain: the full pop order must match repeated reference scans.
+		for q.Len() > 0 {
+			wantID, wantPrio := ref.min()
+			gotID, gotPrio := q.PopMin()
+			if gotID != wantID || gotPrio != wantPrio {
+				t.Fatalf("seed %d drain: PopMin = (%d, %g), reference (%d, %g)", seed, gotID, gotPrio, wantID, wantPrio)
+			}
+			ref.remove(wantID)
+			checkInvariants(t, q)
+		}
+		if len(ref.entries) != 0 {
+			t.Fatalf("seed %d: reference still holds %d entries after drain", seed, len(ref.entries))
+		}
+	}
+}
+
+// TestQueuePanicsStayConsistent: the documented panics (duplicate push,
+// missing update/remove) must fire without corrupting the queue.
+func TestQueuePanicsStayConsistent(t *testing.T) {
+	q := New()
+	q.Push(1, 2)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate Push", func() { q.Push(1, 9) })
+	mustPanic("missing Update", func() { q.Update(42, 1) })
+	mustPanic("missing Remove", func() { q.Remove(42) })
+	checkInvariants(t, q)
+	if id, pr := q.Min(); id != 1 || pr != 2 {
+		t.Errorf("queue corrupted after panics: Min = (%d, %g)", id, pr)
+	}
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"lfo/internal/features"
+	"lfo/internal/obs"
+)
+
+// Default values for the client's robustness knobs. As on the server,
+// each knob reads as: 0 = the default below, negative = disabled.
+const (
+	// DefaultClientTimeout bounds one request/response attempt.
+	DefaultClientTimeout = 5 * time.Second
+	// DefaultMaxRetries is how many times a failed attempt is retried on
+	// a fresh connection before the error surfaces to the caller.
+	DefaultMaxRetries = 2
+	// DefaultBackoff is the sleep before the first retry; it doubles per
+	// subsequent retry of the same call.
+	DefaultBackoff = 5 * time.Millisecond
+)
+
+// ClientConfig tunes the client's robustness behavior. The zero value
+// gives safe defaults (per-attempt timeout, bounded retries with
+// exponential backoff).
+type ClientConfig struct {
+	// Timeout bounds one attempt — connect, request write, response
+	// read. 0 means DefaultClientTimeout; negative disables the
+	// deadline (an attempt may then block until the peer acts).
+	Timeout time.Duration
+
+	// MaxRetries is how many fresh-connection retries follow a failed
+	// attempt. 0 means DefaultMaxRetries; negative means fail on the
+	// first transport error. Remote application errors (opError frames)
+	// are never retried.
+	MaxRetries int
+
+	// Backoff is the sleep before the first retry, doubling per
+	// subsequent retry. 0 means DefaultBackoff; negative retries
+	// immediately.
+	Backoff time.Duration
+
+	// Dial, when set, replaces net.Dial("tcp", addr) — tests use it to
+	// interpose fault-injecting connections.
+	Dial func() (net.Conn, error)
+
+	// Obs, when set, counts retries, reconnects, per-attempt timeouts,
+	// and calls that failed after exhausting retries.
+	Obs *obs.Registry
+}
+
+func (cfg ClientConfig) timeout() time.Duration {
+	switch {
+	case cfg.Timeout > 0:
+		return cfg.Timeout
+	case cfg.Timeout < 0:
+		return 0
+	default:
+		return DefaultClientTimeout
+	}
+}
+
+func (cfg ClientConfig) maxRetries() int {
+	switch {
+	case cfg.MaxRetries > 0:
+		return cfg.MaxRetries
+	case cfg.MaxRetries < 0:
+		return 0
+	default:
+		return DefaultMaxRetries
+	}
+}
+
+func (cfg ClientConfig) backoff() time.Duration {
+	switch {
+	case cfg.Backoff > 0:
+		return cfg.Backoff
+	case cfg.Backoff < 0:
+		return 0
+	default:
+		return DefaultBackoff
+	}
+}
+
+type clientMetrics struct {
+	retries    *obs.Counter
+	reconnects *obs.Counter
+	timeouts   *obs.Counter
+	failures   *obs.Counter
+}
+
+func newClientMetrics(r *obs.Registry) clientMetrics {
+	return clientMetrics{
+		retries:    r.Counter("client_retries_total"),
+		reconnects: r.Counter("client_reconnects_total"),
+		timeouts:   r.Counter("client_timeouts_total"),
+		failures:   r.Counter("client_failures_total"),
+	}
+}
+
+// Client is a prediction-service client. It is synchronous and not safe
+// for concurrent use (the protocol allows one in-flight request per
+// connection).
+//
+// Calls fail fast rather than hang: each attempt runs under
+// ClientConfig.Timeout, and a transport failure (error, timeout, partial
+// write) closes the connection — the stream may be desynchronized — and
+// retries on a fresh one, with exponential backoff, up to MaxRetries.
+type Client struct {
+	cfg  ClientConfig
+	dial func() (net.Conn, error)
+	conn net.Conn
+	m    clientMetrics
+}
+
+// Dial connects to a prediction server with default robustness settings.
+func Dial(addr string) (*Client, error) {
+	return DialConfig(addr, ClientConfig{})
+}
+
+// DialConfig connects to a prediction server with explicit settings. The
+// initial connect fails fast like calls do (no retries: a dead address
+// should surface immediately).
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	c := &Client{cfg: cfg, dial: cfg.Dial, m: newClientMetrics(cfg.Obs)}
+	if c.dial == nil {
+		c.dial = func() (net.Conn, error) {
+			d := net.Dialer{Timeout: cfg.timeout()}
+			return d.Dial("tcp", addr)
+		}
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	c.conn = conn
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// dropConn discards a connection whose stream state is no longer
+// trustworthy (failed or timed-out attempt, partial write).
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		_ = c.conn.Close() // the stream is desynced; nothing useful can fail here
+		c.conn = nil
+	}
+}
+
+// call performs one request/response exchange with retries. The request
+// frame is idempotent to resend: each retry runs on a fresh connection.
+func (c *Client) call(req []byte) ([]byte, error) {
+	retries := c.cfg.maxRetries()
+	backoff := c.cfg.backoff()
+	var err error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			c.m.retries.Inc()
+			if backoff > 0 {
+				time.Sleep(backoff << uint(min(attempt-1, 16)))
+			}
+		}
+		if c.conn == nil {
+			var conn net.Conn
+			conn, err = c.dial()
+			if err != nil {
+				continue
+			}
+			c.conn = conn
+			c.m.reconnects.Inc()
+		}
+		if t := c.cfg.timeout(); t > 0 {
+			_ = c.conn.SetDeadline(time.Now().Add(t)) // deadline errors surface on the I/O below
+		}
+		var resp []byte
+		resp, err = c.attempt(req)
+		if err == nil {
+			return resp, nil
+		}
+		if isTimeout(err) {
+			c.m.timeouts.Inc()
+		}
+		// The connection may hold a half-written request or a half-read
+		// response; it cannot be reused.
+		c.dropConn()
+	}
+	c.m.failures.Inc()
+	return nil, fmt.Errorf("server: call failed after %d attempts: %w", retries+1, err)
+}
+
+func (c *Client) attempt(req []byte) ([]byte, error) {
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	return readFrame(c.conn, maxFramePayload)
+}
+
+// Predict sends a flat row-major feature matrix (len divisible by
+// features.Dim) and returns one probability per row.
+func (c *Client) Predict(rows []float64) ([]float64, error) {
+	payload, err := c.call(encodePredictRequest(rows, features.Dim))
+	if err != nil {
+		return nil, err
+	}
+	return decodePredictResponse(payload)
+}
+
+// Admit sends raw request tuples over the compact stateful protocol and
+// returns one admission probability per tuple.
+//
+// Note the session caveat: the server tracks per-object history per
+// connection, so a retry that reconnects loses accumulated history for
+// this client. The call still succeeds; early predictions after a
+// reconnect see cold features.
+func (c *Client) Admit(reqs []AdmitRequest) ([]float64, error) {
+	payload, err := c.call(encodeAdmitRequest(reqs))
+	if err != nil {
+		return nil, err
+	}
+	return decodePredictResponse(payload)
+}

@@ -88,9 +88,26 @@ func decodeAdmitRequest(payload []byte) ([]AdmitRequest, error) {
 	return reqs, nil
 }
 
-// maxFramePayload bounds a frame's payload to keep a malicious or broken
-// peer from forcing huge allocations (64 MiB ≈ 150k rows).
+// maxFramePayload is the default bound on a frame's payload, keeping a
+// malicious or broken peer from forcing huge allocations (64 MiB ≈ 150k
+// rows). Server.MaxFramePayload overrides it per server.
 const maxFramePayload = 64 << 20
+
+// frameAllocChunk is the initial/step allocation readFrame uses while a
+// frame's bytes arrive: memory is committed as data shows up, so a lying
+// length header cannot reserve the full frame bound with a 4-byte write.
+const frameAllocChunk = 64 << 10
+
+// ErrFrameTooLarge wraps frame-size-limit violations; the stream is
+// desynchronized afterwards (the oversized payload is unread), so the
+// connection must be closed.
+type ErrFrameTooLarge struct {
+	Size, Limit int
+}
+
+func (e *ErrFrameTooLarge) Error() string {
+	return fmt.Sprintf("server: frame payload %d exceeds limit %d", e.Size, e.Limit)
+}
 
 // writeFrame writes a length-prefixed frame.
 func writeFrame(w io.Writer, payload []byte) error {
@@ -103,19 +120,42 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame.
-func readFrame(r io.Reader) ([]byte, error) {
+// readFrame reads one length-prefixed frame of at most max payload bytes.
+// The payload buffer grows geometrically as bytes actually arrive rather
+// than being allocated up front from the (untrusted) length header.
+func readFrame(r io.Reader, max int) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > maxFramePayload {
-		return nil, fmt.Errorf("server: frame payload %d exceeds limit %d", n, maxFramePayload)
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > max {
+		return nil, &ErrFrameTooLarge{Size: n, Limit: max}
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
+	if n <= frameAllocChunk {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	payload := make([]byte, frameAllocChunk)
+	filled := 0
+	for filled < n {
+		if filled == len(payload) {
+			grown := 2 * len(payload)
+			if grown > n {
+				grown = n
+			}
+			next := make([]byte, grown)
+			copy(next, payload)
+			payload = next
+		}
+		m, err := io.ReadFull(r, payload[filled:])
+		filled += m
+		if err != nil {
+			return nil, err
+		}
 	}
 	return payload, nil
 }

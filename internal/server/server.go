@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lfo/internal/features"
 	"lfo/internal/gbdt"
@@ -15,9 +18,44 @@ import (
 	"lfo/internal/trace"
 )
 
+// Default values for the server's robustness knobs. Each knob field reads
+// as: 0 = the default below, negative = disabled/unbounded.
+const (
+	// DefaultReadTimeout bounds the wait for a complete request frame
+	// (including idle time between frames).
+	DefaultReadTimeout = 2 * time.Minute
+	// DefaultWriteTimeout bounds one response write.
+	DefaultWriteTimeout = 30 * time.Second
+	// DefaultDrainTimeout is how long Close waits for in-flight handlers
+	// to finish before force-closing their connections.
+	DefaultDrainTimeout = 5 * time.Second
+	// DefaultMaxConns bounds concurrently served connections.
+	DefaultMaxConns = 1024
+)
+
+// DegradeEvent describes one degradation on the serving path: a deadline
+// violation, a protocol-limit rejection, an accept failure, or a forced
+// close at drain time. Events are rare by construction (per connection or
+// per violation, never per request), so a handler can log each one.
+type DegradeEvent struct {
+	// Kind is one of "read_timeout", "write_timeout", "frame_limit",
+	// "conn_limit", "accept_error", "drain_force_close".
+	Kind string
+	// Remote is the peer address, when known.
+	Remote string
+	// Err is the underlying error, when there is one.
+	Err error
+}
+
 // Server serves admission-likelihood predictions over TCP. The deployed
 // model is swappable at runtime (SetModel), mirroring LFO's per-window
 // model handoff, and every connection is handled by its own goroutine.
+//
+// The serving path is hardened for production use: per-frame read and
+// per-response write deadlines, a frame-size cap enforced before payload
+// allocation, a bound on concurrently served connections, an accept loop
+// that survives transient accept errors, and a graceful drain on Close.
+// Every violation is counted (Obs) and surfaced once via OnDegrade.
 type Server struct {
 	model    atomic.Pointer[gbdt.Model]
 	listener net.Listener
@@ -38,9 +76,48 @@ type Server struct {
 	// be set before Listen.
 	MaxTrackedObjects int
 
+	// ReadTimeout bounds the wait for one complete request frame; a
+	// connection that stalls mid-frame (or idles longer) is closed and
+	// counted. 0 means DefaultReadTimeout; negative disables the
+	// deadline. Must be set before Listen.
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds one response write. 0 means
+	// DefaultWriteTimeout; negative disables the deadline. Must be set
+	// before Listen.
+	WriteTimeout time.Duration
+
+	// DrainTimeout is how long Close waits for in-flight handlers before
+	// force-closing their connections. 0 means DefaultDrainTimeout;
+	// negative force-closes immediately. Must be set before Listen.
+	DrainTimeout time.Duration
+
+	// MaxFramePayload caps a request frame's payload bytes. 0 means the
+	// package default (64 MiB); negative lifts the cap to the protocol
+	// maximum (4 GiB minus one). Oversized frames close the connection:
+	// the unread payload leaves the stream desynchronized. Must be set
+	// before Listen.
+	MaxFramePayload int
+
+	// MaxConns bounds concurrently served connections — the server's
+	// in-flight limit, since the protocol allows one outstanding request
+	// per connection. Excess connections receive an error frame and are
+	// closed. 0 means DefaultMaxConns; negative removes the bound. Must
+	// be set before Listen.
+	MaxConns int
+
+	// OnDegrade, when set, receives one event per degradation (deadline
+	// violation, limit rejection, accept error, drain force-close) — the
+	// structured alternative to per-request log noise. Called from
+	// serving goroutines; must be safe for concurrent use. Must be set
+	// before Listen.
+	OnDegrade func(ev DegradeEvent)
+
 	// Obs, when set, records request/row counters per opcode, frame
-	// read/write errors, a predict latency histogram, and an open-
-	// connections gauge (see internal/obs). Must be set before Listen.
+	// read/write errors, degradation counters (timeouts, limit
+	// rejections, accept errors, drain force-closes), a predict latency
+	// histogram, and an open-connections gauge (see internal/obs). Must
+	// be set before Listen.
 	Obs *obs.Registry
 
 	m serverMetrics // handles resolved in Listen; nil-safe no-ops otherwise
@@ -49,28 +126,40 @@ type Server struct {
 // serverMetrics bundles the per-server metric handles. All handles are
 // nil (single-branch no-ops) when the registry is nil.
 type serverMetrics struct {
-	predictReqs *obs.Counter
-	admitReqs   *obs.Counter
-	predictRows *obs.Counter
-	admitRows   *obs.Counter
-	readErrors  *obs.Counter
-	writeErrors *obs.Counter
-	badRequests *obs.Counter
-	openConns   *obs.Gauge
-	predictNS   *obs.Histogram
+	predictReqs   *obs.Counter
+	admitReqs     *obs.Counter
+	predictRows   *obs.Counter
+	admitRows     *obs.Counter
+	readErrors    *obs.Counter
+	writeErrors   *obs.Counter
+	badRequests   *obs.Counter
+	readTimeouts  *obs.Counter
+	writeTimeouts *obs.Counter
+	frameRejects  *obs.Counter
+	connRejects   *obs.Counter
+	acceptErrors  *obs.Counter
+	drainKills    *obs.Counter
+	openConns     *obs.Gauge
+	predictNS     *obs.Histogram
 }
 
 func newServerMetrics(r *obs.Registry) serverMetrics {
 	return serverMetrics{
-		predictReqs: r.Counter("server_predict_requests_total"),
-		admitReqs:   r.Counter("server_admit_requests_total"),
-		predictRows: r.Counter("server_predict_rows_total"),
-		admitRows:   r.Counter("server_admit_rows_total"),
-		readErrors:  r.Counter("server_read_errors_total"),
-		writeErrors: r.Counter("server_write_errors_total"),
-		badRequests: r.Counter("server_bad_requests_total"),
-		openConns:   r.Gauge("server_open_connections"),
-		predictNS:   r.Histogram("server_predict_ns", obs.LatencyBounds),
+		predictReqs:   r.Counter("server_predict_requests_total"),
+		admitReqs:     r.Counter("server_admit_requests_total"),
+		predictRows:   r.Counter("server_predict_rows_total"),
+		admitRows:     r.Counter("server_admit_rows_total"),
+		readErrors:    r.Counter("server_read_errors_total"),
+		writeErrors:   r.Counter("server_write_errors_total"),
+		badRequests:   r.Counter("server_bad_requests_total"),
+		readTimeouts:  r.Counter("server_read_timeouts_total"),
+		writeTimeouts: r.Counter("server_write_timeouts_total"),
+		frameRejects:  r.Counter("server_frame_limit_rejects_total"),
+		connRejects:   r.Counter("server_conn_limit_rejects_total"),
+		acceptErrors:  r.Counter("server_accept_errors_total"),
+		drainKills:    r.Counter("server_drain_force_closes_total"),
+		openConns:     r.Gauge("server_open_connections"),
+		predictNS:     r.Histogram("server_predict_ns", obs.LatencyBounds),
 	}
 }
 
@@ -85,6 +174,79 @@ func (s *Server) trackerBound() int {
 	default:
 		return 1 << 22
 	}
+}
+
+// readTimeout resolves the ReadTimeout knob (0 if disabled).
+func (s *Server) readTimeout() time.Duration {
+	switch {
+	case s.ReadTimeout > 0:
+		return s.ReadTimeout
+	case s.ReadTimeout < 0:
+		return 0
+	default:
+		return DefaultReadTimeout
+	}
+}
+
+// writeTimeout resolves the WriteTimeout knob (0 if disabled).
+func (s *Server) writeTimeout() time.Duration {
+	switch {
+	case s.WriteTimeout > 0:
+		return s.WriteTimeout
+	case s.WriteTimeout < 0:
+		return 0
+	default:
+		return DefaultWriteTimeout
+	}
+}
+
+// drainTimeout resolves the DrainTimeout knob (0 = force close at once).
+func (s *Server) drainTimeout() time.Duration {
+	switch {
+	case s.DrainTimeout > 0:
+		return s.DrainTimeout
+	case s.DrainTimeout < 0:
+		return 0
+	default:
+		return DefaultDrainTimeout
+	}
+}
+
+// maxFrame resolves the MaxFramePayload knob.
+func (s *Server) maxFrame() int {
+	switch {
+	case s.MaxFramePayload > 0:
+		return s.MaxFramePayload
+	case s.MaxFramePayload < 0:
+		return math.MaxUint32
+	default:
+		return maxFramePayload
+	}
+}
+
+// maxConns resolves the MaxConns knob (0 if unbounded).
+func (s *Server) maxConns() int {
+	switch {
+	case s.MaxConns > 0:
+		return s.MaxConns
+	case s.MaxConns < 0:
+		return 0
+	default:
+		return DefaultMaxConns
+	}
+}
+
+// degrade counts nothing itself — callers bump their counter — but fans
+// the event out to OnDegrade when configured.
+func (s *Server) degrade(kind string, remote net.Addr, err error) {
+	if s.OnDegrade == nil {
+		return
+	}
+	ev := DegradeEvent{Kind: kind, Err: err}
+	if remote != nil {
+		ev.Remote = remote.String()
+	}
+	s.OnDegrade(ev)
 }
 
 // New returns a server deploying the given model. workers bounds the
@@ -113,21 +275,51 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
+// Serve accepts connections from an existing listener instead of binding
+// one; tests use it to interpose fault-injecting listeners. Like Listen,
+// it must be called once and returns immediately.
+func (s *Server) Serve(ln net.Listener) {
+	s.m = newServerMetrics(s.Obs)
+	s.listener = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var errStreak int
 	for {
 		conn, err := s.listener.Accept()
 		if err != nil {
-			if !errors.Is(err, net.ErrClosed) {
-				s.Logf("server: accept: %v", err)
+			if errors.Is(err, net.ErrClosed) {
+				return
 			}
-			return
+			// A transient accept failure (connection reset before
+			// accept, file-descriptor pressure, injected fault) must not
+			// kill the accept loop; back off briefly so a persistent
+			// failure cannot spin the CPU.
+			s.m.acceptErrors.Inc()
+			s.degrade("accept_error", nil, err)
+			errStreak++
+			if errStreak > 1 {
+				backoff := time.Millisecond << uint(min(errStreak-2, 7))
+				time.Sleep(backoff)
+			}
+			continue
 		}
+		errStreak = 0
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			_ = conn.Close() // already shutting down; nothing to report to
 			return
+		}
+		if mc := s.maxConns(); mc > 0 && len(s.conns) >= mc {
+			s.mu.Unlock()
+			s.m.connRejects.Inc()
+			s.degrade("conn_limit", conn.RemoteAddr(), nil)
+			go s.rejectConn(conn)
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
@@ -136,7 +328,33 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handle serves one connection until disconnect or error.
+// rejectConn answers an over-limit connection with an error frame (best
+// effort, bounded by the write timeout) and closes it.
+func (s *Server) rejectConn(conn net.Conn) {
+	if wt := s.writeTimeout(); wt > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(wt)) // best-effort bound on the goodbye frame
+	}
+	_ = writeFrame(conn, encodeError("server at connection limit")) // best-effort goodbye
+	_ = conn.Close()                                                // reject path; nothing to report to
+}
+
+// isTimeout reports whether an I/O error is a deadline violation.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// draining reports whether Close has begun.
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// handle serves one connection until disconnect, error, or drain.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	s.m.openConns.Add(1)
@@ -151,10 +369,34 @@ func (s *Server) handle(conn net.Conn) {
 	// allocated lazily on the first opAdmit frame.
 	var tracker *features.Tracker
 	buf := make([]float64, features.Dim)
+	maxFrame := s.maxFrame()
+	readTimeout := s.readTimeout()
+	writeTimeout := s.writeTimeout()
 	for {
-		payload, err := readFrame(conn)
+		if readTimeout > 0 && !s.draining() {
+			_ = conn.SetReadDeadline(time.Now().Add(readTimeout)) // deadline errors surface on the read itself
+		}
+		payload, err := readFrame(conn, maxFrame)
 		if err != nil {
-			if !benignDisconnect(err) {
+			var tooLarge *ErrFrameTooLarge
+			switch {
+			case s.draining():
+				// Drain wake-up (Close set an immediate deadline) or the
+				// peer leaving during shutdown; never a degradation.
+			case isTimeout(err):
+				s.m.readTimeouts.Inc()
+				s.degrade("read_timeout", conn.RemoteAddr(), err)
+			case errors.As(err, &tooLarge):
+				// The oversized payload is unread, so the stream cannot
+				// be resynchronized: answer (best effort) and close.
+				s.m.frameRejects.Inc()
+				s.degrade("frame_limit", conn.RemoteAddr(), err)
+				if writeTimeout > 0 {
+					_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout)) // best-effort bound
+				}
+				_ = writeFrame(conn, encodeError(err.Error())) // best-effort goodbye on a doomed conn
+			case benignDisconnect(err):
+			default:
 				s.m.readErrors.Inc()
 				s.Logf("server: read from %s: %v", conn.RemoteAddr(), err)
 			}
@@ -162,8 +404,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		m := s.model.Load()
 		if m == nil {
-			if werr := writeFrame(conn, encodeError("no model deployed")); werr != nil {
-				s.m.writeErrors.Inc()
+			if werr := s.writeResponse(conn, writeTimeout, encodeError("no model deployed")); werr != nil {
 				return
 			}
 			continue
@@ -207,17 +448,34 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		if err != nil {
 			s.m.badRequests.Inc()
-			if werr := writeFrame(conn, encodeError(err.Error())); werr != nil {
-				s.m.writeErrors.Inc()
+			if werr := s.writeResponse(conn, writeTimeout, encodeError(err.Error())); werr != nil {
 				return
 			}
 			continue
 		}
-		if err := writeFrame(conn, encodePredictResponse(probs)); err != nil {
-			s.m.writeErrors.Inc()
+		if err := s.writeResponse(conn, writeTimeout, encodePredictResponse(probs)); err != nil {
 			return
 		}
 	}
+}
+
+// writeResponse writes one response frame under the write deadline,
+// counting timeout violations and write errors.
+func (s *Server) writeResponse(conn net.Conn, timeout time.Duration, payload []byte) error {
+	if timeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(timeout)) // deadline errors surface on the write itself
+	}
+	err := writeFrame(conn, payload)
+	if err == nil {
+		return nil
+	}
+	if isTimeout(err) {
+		s.m.writeTimeouts.Inc()
+		s.degrade("write_timeout", conn.RemoteAddr(), err)
+	} else {
+		s.m.writeErrors.Inc()
+	}
+	return err
 }
 
 // benignDisconnect reports whether a frame-read error is an ordinary
@@ -230,7 +488,10 @@ func benignDisconnect(err error) bool {
 		errors.Is(err, net.ErrClosed)
 }
 
-// Close stops accepting, closes all connections, and waits for handlers.
+// Close stops accepting and drains: idle connections are woken with an
+// immediate read deadline and exit cleanly, in-flight responses finish
+// under their write deadline, and whatever remains after DrainTimeout is
+// force-closed (counted, surfaced via OnDegrade).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -238,62 +499,51 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		_ = c.Close() // force handlers to unblock; their errors are benign here
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+
 	var err error
 	if s.listener != nil {
 		err = s.listener.Close()
 	}
-	s.wg.Wait()
+	// Wake handlers blocked waiting for the next frame; handlers notice
+	// the drain and exit without treating the wake as a timeout.
+	wake := time.Now()
+	for _, c := range conns {
+		_ = c.SetReadDeadline(wake) // best effort; the conn may be racing its own close
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if dt := s.drainTimeout(); dt > 0 {
+		timer := time.NewTimer(dt)
+		defer timer.Stop()
+		select {
+		case <-done:
+			return err
+		case <-timer.C:
+		}
+	}
+	// Grace expired (or drain disabled): force-close survivors.
+	s.mu.Lock()
+	for c := range s.conns {
+		s.m.drainKills.Inc()
+		s.degrade("drain_force_close", c.RemoteAddr(), nil)
+		_ = c.Close() // force handlers to unblock; their errors are benign here
+	}
+	s.mu.Unlock()
+	<-done
 	return err
 }
 
-// Client is a prediction-service client. It is safe for sequential use;
-// wrap with a pool for concurrency.
-type Client struct {
-	conn net.Conn
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
-
-// Dial connects to a prediction server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
-	}
-	return &Client{conn: conn}, nil
-}
-
-// Predict sends a flat row-major feature matrix (features.Dim wide) and
-// returns one probability per row.
-func (c *Client) Predict(rows []float64) ([]float64, error) {
-	if len(rows)%features.Dim != 0 {
-		return nil, fmt.Errorf("server: rows length %d not a multiple of dim %d", len(rows), features.Dim)
-	}
-	if err := writeFrame(c.conn, encodePredictRequest(rows, features.Dim)); err != nil {
-		return nil, fmt.Errorf("server: send: %w", err)
-	}
-	payload, err := readFrame(c.conn)
-	if err != nil {
-		return nil, fmt.Errorf("server: receive: %w", err)
-	}
-	return decodePredictResponse(payload)
-}
-
-// Admit sends raw request tuples over the compact protocol (the server
-// tracks per-object feature history for this connection) and returns one
-// admission likelihood per request. A tenth of the bandwidth of Predict.
-func (c *Client) Admit(reqs []AdmitRequest) ([]float64, error) {
-	if err := writeFrame(c.conn, encodeAdmitRequest(reqs)); err != nil {
-		return nil, fmt.Errorf("server: send: %w", err)
-	}
-	payload, err := readFrame(c.conn)
-	if err != nil {
-		return nil, fmt.Errorf("server: receive: %w", err)
-	}
-	return decodePredictResponse(payload)
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }

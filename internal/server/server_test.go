@@ -214,7 +214,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err := writeFrame(&buf, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readFrame(&buf)
+	got, err := readFrame(&buf, maxFramePayload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestReadFrameRejectsHuge(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB claimed
-	if _, err := readFrame(&buf); err == nil {
+	if _, err := readFrame(&buf, maxFramePayload); err == nil {
 		t.Error("huge frame accepted")
 	}
 }
@@ -634,7 +634,7 @@ func TestBadRequestCounter(t *testing.T) {
 	if err := writeFrame(c.conn, []byte{0x7f, 1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	payload, err := readFrame(c.conn)
+	payload, err := readFrame(c.conn, maxFramePayload)
 	if err != nil {
 		t.Fatal(err)
 	}

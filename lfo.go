@@ -291,6 +291,13 @@ type (
 	PredictionServer = server.Server
 	// PredictionClient talks to a PredictionServer.
 	PredictionClient = server.Client
+	// PredictionClientConfig tunes the client's per-attempt timeout and
+	// bounded retry/backoff.
+	PredictionClientConfig = server.ClientConfig
+	// DegradeEvent describes one serving-path degradation (timeout,
+	// limit rejection, accept error, drain force-close); see
+	// PredictionServer.OnDegrade.
+	DegradeEvent = server.DegradeEvent
 	// AdmitRequest is one raw request tuple for the compact protocol
 	// (the server tracks feature history per connection).
 	AdmitRequest = server.AdmitRequest
@@ -301,5 +308,34 @@ func NewPredictionServer(m *Model, workers int) *PredictionServer {
 	return server.New(m, workers)
 }
 
-// DialPrediction connects to a prediction server.
+// DialPrediction connects to a prediction server with default robustness
+// settings (per-attempt timeout, bounded retries with backoff).
 func DialPrediction(addr string) (*PredictionClient, error) { return server.Dial(addr) }
+
+// DialPredictionConfig connects to a prediction server with explicit
+// robustness settings.
+func DialPredictionConfig(addr string, cfg PredictionClientConfig) (*PredictionClient, error) {
+	return server.DialConfig(addr, cfg)
+}
+
+// Graceful degradation (see internal/core and internal/policy).
+type (
+	// RemoteAdmitter consults a PredictionServer for admission and falls
+	// back to a local heuristic when the remote path fails; it
+	// implements Admitter.
+	RemoteAdmitter = core.RemoteAdmitter
+	// RemoteAdmitterConfig tunes cutoff, fallback and metrics.
+	RemoteAdmitterConfig = core.RemoteAdmitterConfig
+	// SecondHitCensor admits objects on their second request within
+	// recent (bounded) history — the degraded-mode heuristic.
+	SecondHitCensor = policy.SecondHitCensor
+)
+
+// NewRemoteAdmitter wires a prediction client to a fallback heuristic.
+func NewRemoteAdmitter(remote core.RemotePredictor, cfg RemoteAdmitterConfig) (*RemoteAdmitter, error) {
+	return core.NewRemoteAdmitter(remote, cfg)
+}
+
+// NewSecondHitCensor returns a bounded second-hit admission heuristic
+// (maxIDs 0 = default bound, negative = unbounded).
+func NewSecondHitCensor(maxIDs int) *SecondHitCensor { return policy.NewSecondHitCensor(maxIDs) }

@@ -33,8 +33,38 @@ step "go test ./..."
 go test ./...
 
 step "go test -race (concurrent packages)"
-go test -race ./internal/server ./internal/tiered ./internal/sim \
-    ./internal/par ./internal/gbdt ./internal/features ./internal/core \
-    ./internal/opt ./internal/mcf ./internal/obs
+go test -race ./internal/server ./internal/faultnet ./internal/tiered \
+    ./internal/sim ./internal/par ./internal/pq ./internal/gbdt \
+    ./internal/features ./internal/core ./internal/opt ./internal/mcf \
+    ./internal/obs
+
+# Coverage floors on the serving path: the chaos/fuzz suites are the
+# main guard on these packages, so a silent drop in what they exercise
+# should fail the gate.
+cover_floor() {
+    pkg=$1 floor=$2
+    pct=$(go test -cover "$pkg" | awk '{for (i = 1; i <= NF; i++) if ($i == "coverage:") {gsub("%", "", $(i+1)); print $(i+1)}}')
+    if [ -z "$pct" ]; then
+        echo "no coverage figure for $pkg" >&2
+        exit 1
+    fi
+    awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p+0 >= f+0) }' || {
+        echo "coverage for $pkg is ${pct}%, below the ${floor}% floor" >&2
+        exit 1
+    }
+    printf '   %s: %s%% (floor %s%%)\n' "$pkg" "$pct" "$floor"
+}
+step "go test -cover floors"
+cover_floor ./internal/server 85
+cover_floor ./internal/faultnet 70
+
+# Short fuzz smoke over the frame codec and the model parser. The
+# committed seed corpora under testdata/fuzz always replay; the smoke
+# additionally mutates for a few seconds per target. -fuzzminimizetime
+# is capped because the engine's default 60s minimization budget would
+# otherwise swallow the whole run.
+step "fuzz smoke"
+go test -run '^$' -fuzz '^FuzzFrameDecode$' -fuzztime 5s -fuzzminimizetime 5s ./internal/server
+go test -run '^$' -fuzz '^FuzzModelLoad$' -fuzztime 5s -fuzzminimizetime 5s ./internal/gbdt
 
 echo "ALL CHECKS PASSED"
