@@ -1,7 +1,9 @@
 // Command lfolint runs the repository's custom static analyzer (see
 // internal/lint): determinism rules over the training pipeline,
-// float-safety rules over the numeric kernels, and API-hygiene rules over
-// all library code.
+// float-safety rules over the numeric kernels, API-hygiene rules over all
+// library code, and the interprocedural flow analyses (see
+// internal/lint/flow): determinism taint tracking, //lfo:hotpath
+// allocation discipline, goroutine join paths, and lock ordering.
 //
 // Usage:
 //
@@ -9,14 +11,17 @@
 //
 // With no arguments (or "./...") every package in the enclosing module is
 // checked. Specific package directories restrict reporting to those
-// packages; the whole module is still loaded for type information.
+// packages; the whole module is still loaded and analyzed so that
+// cross-package call chains resolve.
 //
 // Exit status is 1 when any non-suppressed diagnostic is reported, 2 on
 // load/usage errors, 0 otherwise. Findings can be waived in place with
-// "//lfolint:ignore <rule> <reason>".
+// "//lfolint:ignore <rule> <reason>"; waivers that no longer suppress
+// anything are themselves reported by the stale-waiver rule.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,11 +29,13 @@ import (
 	"strings"
 
 	"lfo/internal/lint"
+	"lfo/internal/lint/flow"
 )
 
 func main() {
 	listRules := flag.Bool("rules", false, "list the lint rules and their policy scopes, then exit")
 	only := flag.String("only", "", "comma-separated rule names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout (for CI and editors)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: lfolint [flags] [./... | package-dir ...]\n")
 		flag.PrintDefaults()
@@ -36,11 +43,12 @@ func main() {
 	flag.Parse()
 
 	policy := lint.DefaultPolicy()
-	rules := lint.AllRules()
+	rules := append(lint.AllRules(), flow.Rules()...)
 	if *listRules {
 		for _, r := range rules {
 			fmt.Printf("%-16s %s\n", r.Name, r.Doc)
 		}
+		fmt.Printf("%-16s %s\n", lint.StaleWaiverRule, "flag //lfolint:ignore directives that no longer suppress anything")
 		return
 	}
 	if *only != "" {
@@ -48,6 +56,12 @@ func main() {
 		for _, name := range strings.Split(*only, ",") {
 			keep[strings.TrimSpace(name)] = true
 		}
+		// Staleness is only decidable for waivers whose rules actually ran:
+		// under a rule subset the audit runs only on explicit request.
+		if !keep[lint.StaleWaiverRule] {
+			delete(policy, lint.StaleWaiverRule)
+		}
+		delete(keep, lint.StaleWaiverRule)
 		var filtered []lint.Rule
 		for _, r := range rules {
 			if keep[r.Name] {
@@ -69,21 +83,43 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+
+	// The full module is always analyzed — the flow rules need every
+	// package in the call graph — and explicit directory arguments filter
+	// the *findings*, not the analysis.
+	diags := lint.Run(pkgs, rules, policy)
 	if dirs := explicitDirs(flag.Args()); dirs != nil {
-		pkgs = filterByDir(pkgs, dirs)
-		if len(pkgs) == 0 {
-			fatalf("no packages match %v", flag.Args())
-		}
+		diags = filterByDir(diags, pkgs, dirs)
 	}
 
-	diags := lint.Run(pkgs, rules, policy)
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+	if *jsonOut {
+		type finding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				File:    relTo(cwd, d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Rule:    d.Rule,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("encode findings: %v", err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", relTo(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lfolint: %d finding(s)\n", len(diags))
@@ -94,6 +130,15 @@ func main() {
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "lfolint: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// relTo shortens an absolute filename to a cwd-relative one when that
+// does not escape upward.
+func relTo(cwd, name string) string {
+	if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
 }
 
 // moduleRoot walks up from the working directory to the enclosing go.mod.
@@ -127,7 +172,10 @@ func explicitDirs(args []string) []string {
 	return dirs
 }
 
-func filterByDir(pkgs []*lint.Package, dirs []string) []*lint.Package {
+// filterByDir keeps the diagnostics located in the requested package
+// directories. It also validates that every argument names a loaded
+// package, so a typo fails loudly instead of silencing the run.
+func filterByDir(diags []lint.Diagnostic, pkgs []*lint.Package, dirs []string) []lint.Diagnostic {
 	want := make(map[string]bool)
 	for _, d := range dirs {
 		abs, err := filepath.Abs(d)
@@ -136,10 +184,19 @@ func filterByDir(pkgs []*lint.Package, dirs []string) []*lint.Package {
 		}
 		want[abs] = true
 	}
-	var out []*lint.Package
+	known := make(map[string]bool, len(pkgs))
 	for _, p := range pkgs {
-		if want[p.Dir] {
-			out = append(out, p)
+		known[p.Dir] = true
+	}
+	for dir := range want {
+		if !known[dir] {
+			fatalf("no package in directory %s", dir)
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if want[filepath.Dir(d.Pos.Filename)] {
+			out = append(out, d)
 		}
 	}
 	return out

@@ -330,7 +330,10 @@ func (p *LFO) Close() {
 }
 
 // admit inserts the object with the given eviction rank, evicting
-// lowest-ranked objects to make room.
+// lowest-ranked objects to make room. This is the per-request
+// store/eviction loop, so it is held to the zero-allocation discipline.
+//
+//lfo:hotpath
 func (p *LFO) admit(r trace.Request, rank float64) {
 	for !p.store.Fits(r.Size) {
 		id, _ := p.rank.PopMin()

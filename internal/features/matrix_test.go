@@ -49,7 +49,6 @@ func matEqual(a, b []float64) bool {
 		if math.IsNaN(a[i]) && math.IsNaN(b[i]) {
 			continue
 		}
-		//lfolint:ignore float-equal bit-identity across worker counts is the property under test
 		if a[i] != b[i] {
 			return false
 		}

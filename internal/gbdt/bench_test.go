@@ -1,0 +1,69 @@
+package gbdt
+
+import "testing"
+
+// benchModel builds a synthetic model of complete binary trees, sized to
+// look like a trained LFO classifier (depth-6 trees over a small feature
+// vector) without depending on the trainer.
+func benchModel(trees, depth, dim int) *Model {
+	m := &Model{Dim: dim, BaseScore: 0.1}
+	for t := 0; t < trees; t++ {
+		var tr Tree
+		var build func(d int) int32
+		build = func(d int) int32 {
+			i := int32(len(tr.Nodes))
+			if d == 0 {
+				tr.Nodes = append(tr.Nodes, node{Feature: -1, Value: 0.01 * float64(t+1)})
+				return i
+			}
+			tr.Nodes = append(tr.Nodes, node{
+				Feature:   int32((d + t) % dim),
+				Threshold: float64(d) / float64(depth+1),
+			})
+			l := build(d - 1)
+			r := build(d - 1)
+			tr.Nodes[i].Left, tr.Nodes[i].Right = l, r
+			return i
+		}
+		build(depth)
+		m.Trees = append(m.Trees, tr)
+	}
+	return m
+}
+
+// BenchmarkPredict is the per-row scoring hot path; it is pinned to 0
+// allocs/op by testdata/alloc_budgets.txt (scripts/check.sh) and enforced
+// statically by the //lfo:hotpath annotation on Predict.
+func BenchmarkPredict(b *testing.B) {
+	m := benchModel(32, 6, 16)
+	row := make([]float64, m.Dim)
+	for i := range row {
+		row[i] = float64(i) / float64(m.Dim)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.Predict(row)
+	}
+	if sink == -1 {
+		b.Fatal("impossible") // keep the loop from being optimized away
+	}
+}
+
+// BenchmarkPredictBatch scores a 512-row matrix per op, single worker, so
+// the reported allocations are the batch fan-out's fixed overhead.
+func BenchmarkPredictBatch(b *testing.B) {
+	m := benchModel(32, 6, 16)
+	const rows = 512
+	flat := make([]float64, rows*m.Dim)
+	for i := range flat {
+		flat[i] = float64(i%m.Dim) / float64(m.Dim)
+	}
+	out := make([]float64, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(flat, out, 1)
+	}
+}

@@ -21,6 +21,8 @@ type Model struct {
 }
 
 // RawPredict returns the unsquashed margin for one feature row.
+//
+//lfo:hotpath
 func (m *Model) RawPredict(row []float64) float64 {
 	if len(row) != m.Dim {
 		panic(fmt.Sprintf("gbdt: row dim %d != model dim %d", len(row), m.Dim))
@@ -33,6 +35,8 @@ func (m *Model) RawPredict(row []float64) float64 {
 }
 
 // Predict returns the probability of the positive class for one row.
+//
+//lfo:hotpath
 func (m *Model) Predict(row []float64) float64 {
 	return sigmoid(m.RawPredict(row))
 }
@@ -42,11 +46,14 @@ func (m *Model) Predict(row []float64) float64 {
 // rows is a flat row-major matrix of n rows; out must have length n. Rows
 // are scored independently, so the output is byte-identical for any
 // worker count.
+//
+//lfo:hotpath
 func (m *Model) PredictBatch(rows []float64, out []float64, workers int) {
 	n := len(out)
 	if len(rows) != n*m.Dim {
 		panic(fmt.Sprintf("gbdt: rows length %d != %d rows × dim %d", len(rows), n, m.Dim))
 	}
+	//lfolint:ignore hotpath-alloc one closure per batch call, amortized over the whole row matrix
 	par.Ranges(n, workers, 64, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = m.Predict(rows[i*m.Dim : (i+1)*m.Dim])

@@ -76,7 +76,6 @@ func TestPredictBatchMatchesPredict(t *testing.T) {
 		got := make([]float64, d.Len())
 		m.PredictBatch(d.x, got, workers)
 		for i := range got {
-			//lfolint:ignore float-equal bit-identity across worker counts is the property under test
 			if got[i] != want[i] {
 				t.Fatalf("workers=%d row %d: PredictBatch %v != Predict %v", workers, i, got[i], want[i])
 			}

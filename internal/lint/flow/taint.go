@@ -1,0 +1,309 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lfo/internal/lint"
+)
+
+// SanctionedTelemetry lists package paths (module-relative, suffix-matched)
+// whose functions are treated as determinism-clean even though they read
+// clocks: the observability layer records wall-clock latency by design,
+// and its values feed metrics endpoints only — never decisions, labels,
+// model bytes, or anything hashed into test goldens. Calls *into* these
+// packages are not traversed; nothing in the deterministic core may be
+// *implemented* there.
+var SanctionedTelemetry = []string{"internal/obs"}
+
+// taintKind classifies the root cause of a nondeterminism witness.
+type taintKind string
+
+const (
+	taintClock taintKind = "wall clock"
+	taintRand  taintKind = "global math/rand"
+	taintEnv   taintKind = "environment read"
+	taintFS    taintKind = "filesystem read"
+	taintMap   taintKind = "unordered map iteration"
+)
+
+// taintWitness explains why a function is nondeterministic: the root
+// source and the call chain from the function's first offending callee
+// down to that source.
+type taintWitness struct {
+	kind taintKind
+	// chain is the path to the source, outermost callee first, ending in
+	// a description of the source itself with its position.
+	chain []string
+}
+
+// osEnvReads and osFSReads are the os functions whose results depend on
+// the host environment or filesystem state.
+var osEnvReads = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+	"Getpid": true, "Getppid": true, "Hostname": true, "UserHomeDir": true,
+	"UserCacheDir": true, "UserConfigDir": true, "TempDir": true, "Getwd": true,
+}
+var osFSReads = map[string]bool{
+	"Open": true, "OpenFile": true, "ReadFile": true, "ReadDir": true,
+	"Stat": true, "Lstat": true, "ReadLink": true,
+}
+
+// randConstructors build explicitly seeded generators and are therefore
+// deterministic; every other package-level math/rand function draws from
+// the process-global source.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+// sourceTaint classifies a statically resolved callee as a nondeterminism
+// source, or returns "".
+func sourceTaint(fn *types.Func) taintKind {
+	pkg := fn.Pkg()
+	if pkg == nil || recvOf(fn) != nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return taintClock
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			return taintRand
+		}
+	case "os":
+		if osEnvReads[fn.Name()] {
+			return taintEnv
+		}
+		if osFSReads[fn.Name()] {
+			return taintFS
+		}
+	}
+	return ""
+}
+
+// sanctioned reports whether p is a sanctioned telemetry package.
+func sanctioned(p *lint.Package) bool {
+	for _, s := range SanctionedTelemetry {
+		if matchesRel(p.Rel, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// taintSummaries computes, by fixed point over the call graph, a
+// nondeterminism witness for every function that transitively reaches a
+// source. A function is tainted if its body calls a source directly
+// (regardless of whether the result is used — rand.Shuffle taints by side
+// effect), returns a slice built in map-iteration order, or calls a
+// tainted module function outside the sanctioned telemetry boundary.
+func taintSummaries(g *Graph) map[*Func]*taintWitness {
+	sum := make(map[*Func]*taintWitness)
+	// Base facts: direct sources.
+	for _, fn := range g.Order {
+		for _, c := range fn.Calls {
+			if k := sourceTaint(c.Callee); k != "" {
+				sum[fn] = &taintWitness{kind: k, chain: []string{srcDesc(g, c)}}
+				break
+			}
+		}
+		if sum[fn] == nil {
+			if pos, ok := mapOrderReturn(fn); ok {
+				sum[fn] = &taintWitness{kind: taintMap, chain: []string{fmt.Sprintf("map-ordered slice built at %s", g.position(pos))}}
+			}
+		}
+	}
+	// Propagate caller-ward until stable.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.Order {
+			if sum[fn] != nil {
+				continue
+			}
+			for _, c := range fn.Calls {
+				callee := g.Node(c.Callee)
+				if callee == nil || sanctioned(callee.Pkg) {
+					continue
+				}
+				w := sum[callee]
+				if w == nil {
+					continue
+				}
+				sum[fn] = &taintWitness{kind: w.kind, chain: append([]string{shortName(callee.Obj)}, w.chain...)}
+				changed = true
+				break
+			}
+		}
+	}
+	return sum
+}
+
+func srcDesc(g *Graph, c Call) string {
+	return fmt.Sprintf("%s at %s", shortName(c.Callee), g.position(c.Site.Pos()))
+}
+
+func (g *Graph) position(pos token.Pos) string {
+	p := g.Fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}
+
+// mapOrderReturn reports whether fn returns a slice whose element order is
+// dictated by map iteration: a `range` over a map appends to a variable
+// declared outside the loop, the variable reaches a return statement, and
+// no sort.*/slices.* call touches it after the loop. This is the
+// interprocedural extension of the syntactic map-order rule: it marks the
+// *function* as a taint source so callers in the deterministic core are
+// flagged even when the map lives in a helper package.
+func mapOrderReturn(fn *Func) (token.Pos, bool) {
+	p := fn.Pkg
+	var found token.Pos
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(as.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+					continue
+				}
+				lhs, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Uses[lhs]
+				if obj == nil {
+					obj = p.Info.Defs[lhs]
+				}
+				if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()) {
+					continue // loop-local collector
+				}
+				if returnedUnsorted(p, fn.Decl, rs, obj) {
+					found = as.Pos()
+					return false
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return found, found.IsValid()
+}
+
+// returnedUnsorted reports whether obj appears in a return statement of fn
+// and is not passed to a sort.*/slices.* call after the range statement.
+func returnedUnsorted(p *lint.Package, fn *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	returned, sorted := false, false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if id, ok := ast.Unparen(e).(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					returned = true
+				}
+			}
+		case *ast.CallExpr:
+			if n.Pos() < rs.End() {
+				return true
+			}
+			fnObj, _ := p.Info.Uses[calleeIdent(n)].(*types.Func)
+			if fnObj == nil || fnObj.Pkg() == nil {
+				return true
+			}
+			if path := fnObj.Pkg().Path(); path != "sort" && path != "slices" {
+				return true
+			}
+			for _, arg := range n.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+						sorted = true
+					}
+					return !sorted
+				})
+			}
+		}
+		return true
+	})
+	return returned && !sorted
+}
+
+// calleeIdent returns the identifier naming a call's target, or nil.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+// ruleFlowDeterminism builds the flow-determinism rule: in scoped packages
+// (the deterministic core), report every call to a module function whose
+// summary is tainted, plus direct environment/filesystem reads (direct
+// clock and rand calls are already covered by the syntactic rules).
+func ruleFlowDeterminism() lint.Rule {
+	return lint.Rule{
+		Name: "flow-determinism",
+		Doc:  "forbid values/effects derived from clocks, global rand, env/FS reads, or map order from reaching the deterministic core through any helper chain",
+		RunModule: func(pkgs []*lint.Package, inScope func(*lint.Package) bool, report func(pos token.Pos, format string, args ...interface{})) {
+			g := Build(pkgs)
+			sum := taintSummaries(g)
+			for _, fn := range g.Order {
+				if !inScope(fn.Pkg) || sanctioned(fn.Pkg) {
+					continue
+				}
+				for _, c := range fn.Calls {
+					// Direct env/FS sources have no syntactic rule of
+					// their own; report them here.
+					switch sourceTaint(c.Callee) {
+					case taintEnv:
+						report(c.Site.Pos(), "%s reads the process environment; the deterministic core must take configuration as explicit inputs", shortName(c.Callee))
+						continue
+					case taintFS:
+						report(c.Site.Pos(), "%s reads the filesystem; the deterministic core must take data as explicit inputs (load outside, pass values in)", shortName(c.Callee))
+						continue
+					}
+					callee := g.Node(c.Callee)
+					if callee == nil || sanctioned(callee.Pkg) {
+						continue
+					}
+					if w := sum[callee]; w != nil {
+						report(c.Site.Pos(), "call to %s is nondeterministic (%s: %s → %s); deterministic-core outputs must not depend on it",
+							shortName(callee.Obj), w.kind, shortName(callee.Obj), strings.Join(w.chain, " → "))
+					}
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,85 @@
+// Package gr exercises the goroutine-join rule.
+package gr
+
+import (
+	"context"
+	"sync"
+)
+
+// FireAndForget spawns work nobody can wait for.
+func FireAndForget(xs []int) {
+	go func() { // want "no visible join path"
+		for i := range xs {
+			xs[i]++
+		}
+	}()
+}
+
+// WGJoined accounts the goroutine to a WaitGroup before spawning.
+func WGJoined(xs []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range xs {
+			xs[i]++
+		}
+	}()
+	wg.Wait()
+}
+
+// ChannelJoined signals completion on a channel.
+func ChannelJoined(xs []int) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		for i := range xs {
+			xs[i]++
+		}
+		close(done)
+	}()
+	return done
+}
+
+// CtxJoined watches a context: selecting on Done is a join path.
+func CtxJoined(ctx context.Context, tick <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// NamedJoined spawns a named function that signals through a callee.
+func NamedJoined(w *Worker) {
+	go w.loop()
+}
+
+// NamedUnjoined spawns a named function with no signal anywhere.
+func NamedUnjoined(w *Worker) {
+	go w.spin() // want "no visible join path"
+}
+
+// Worker is a goroutine host.
+type Worker struct {
+	done chan struct{}
+	n    int
+}
+
+func (w *Worker) loop() {
+	w.finish()
+}
+
+// finish is the transitive signal: loop → finish → close.
+func (w *Worker) finish() {
+	close(w.done)
+}
+
+func (w *Worker) spin() {
+	for i := 0; i < 1000; i++ {
+		w.n++
+	}
+}

@@ -1,0 +1,18 @@
+// Package deep is the second helper hop.
+package deep
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Shuffle perturbs data via the process-global rand source: taint by side
+// effect, with no return value involved.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

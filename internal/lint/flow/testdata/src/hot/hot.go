@@ -1,0 +1,37 @@
+// Package hot exercises the hotpath-alloc rule.
+package hot
+
+import (
+	"fmt"
+
+	"fixture/hotutil"
+)
+
+// State carries reusable buffers for the hot loop.
+type State struct {
+	buf     []float64
+	scratch hotutil.Box
+}
+
+//lfo:hotpath
+func (s *State) Step(x float64, f func(float64) float64) float64 {
+	tmp := make([]float64, 8) // want "make allocates"
+	tmp[0] = x
+	s.buf = append(s.buf, x) // want "append may grow"
+	b := hotutil.Alloc(x)    // transitive callee alloc: reported inside hotutil
+	y := f(x)                // want "dynamic call (func value f) cannot be verified"
+	fmt.Println(y)           // want "fmt.Println allocates"
+	if x < 0 {
+		panic(fmt.Sprintf("hot: negative %v", x)) // exempt: panic path
+	}
+	//lfolint:ignore hotpath-alloc fixture: demonstrates an amortized one-time setup waiver
+	held := new(float64)
+	*held = b.V
+	s.scratch = hotutil.Box{V: *held}
+	return y + *held + clean(x)
+}
+
+// clean is a transitive callee with no allocations: no findings.
+func clean(x float64) float64 {
+	return x * 0.5
+}

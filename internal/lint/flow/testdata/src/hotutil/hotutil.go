@@ -1,0 +1,14 @@
+// Package hotutil is called from an annotated hot path in package hot;
+// its allocations are reported at their own sites with the root chain.
+package hotutil
+
+// Box holds a float behind a pointer.
+type Box struct {
+	V float64
+	P *float64
+}
+
+// Alloc heap-allocates a Box.
+func Alloc(x float64) *Box {
+	return &Box{V: x} // want "address-taken composite literal escapes"
+}

@@ -1,0 +1,10 @@
+// Package obs stands in for the sanctioned telemetry boundary: it reads
+// clocks by design and is exempt from determinism taint.
+package obs
+
+import "time"
+
+// LatencyNS reads the wall clock; sanctioned.
+func LatencyNS(start int64) int64 {
+	return time.Now().UnixNano() - start
+}

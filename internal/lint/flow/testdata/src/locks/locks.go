@@ -1,0 +1,87 @@
+// Package locks exercises the lock-order rule.
+package locks
+
+import "sync"
+
+// S holds an inconsistently ordered mutex pair (a, b) and a consistent
+// one (c, d — always c before d, including through a callee).
+type S struct {
+	a, b sync.Mutex
+	c, d sync.Mutex
+	n    int
+}
+
+// AB locks a then b: establishes the (a, b) order.
+func (s *S) AB() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock()
+	s.n++
+	s.b.Unlock()
+}
+
+// BA locks b then a: the inversion.
+func (s *S) BA() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock() // want "lock order inversion"
+	s.n++
+	s.a.Unlock()
+}
+
+// CD locks c then d directly.
+func (s *S) CD() {
+	s.c.Lock()
+	defer s.c.Unlock()
+	s.d.Lock()
+	s.n++
+	s.d.Unlock()
+}
+
+// CthenD takes c, then acquires d through a callee: same order as CD, so
+// no finding — but the edge is recorded interprocedurally.
+func (s *S) CthenD() {
+	s.c.Lock()
+	defer s.c.Unlock()
+	s.bumpUnderD()
+}
+
+// bumpUnderD acquires d; callers may hold other locks.
+func (s *S) bumpUnderD() {
+	s.d.Lock()
+	s.n++
+	s.d.Unlock()
+}
+
+// T holds a pair inverted only through a callee chain.
+type T struct {
+	x, y sync.Mutex
+	n    int
+}
+
+// XY locks x, then y via a helper.
+func (t *T) XY() {
+	t.x.Lock()
+	defer t.x.Unlock()
+	t.underY()
+}
+
+func (t *T) underY() {
+	t.y.Lock()
+	t.n++
+	t.y.Unlock()
+}
+
+// YX locks y, then x via a helper: an inversion only visible
+// interprocedurally.
+func (t *T) YX() {
+	t.y.Lock()
+	defer t.y.Unlock()
+	t.underX() // want "lock order inversion"
+}
+
+func (t *T) underX() {
+	t.x.Lock()
+	t.n++
+	t.x.Unlock()
+}

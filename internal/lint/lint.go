@@ -37,14 +37,22 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
-// Rule is one lint check, run once per applicable package.
+// Rule is one lint check. Per-package rules set Run and are invoked once
+// per in-scope package; module-wide rules (the interprocedural flow
+// analyses) set RunModule instead and are invoked once with every loaded
+// package, so they can follow call chains across package boundaries.
+// Exactly one of Run and RunModule must be set.
 type Rule struct {
 	// Name identifies the rule in diagnostics and suppression directives.
 	Name string
 	// Doc is a one-line description, shown by lfolint -rules.
 	Doc string
-	// Run inspects the package and reports findings.
+	// Run inspects one package and reports findings.
 	Run func(p *Package, report func(pos token.Pos, format string, args ...interface{}))
+	// RunModule inspects the whole module at once. inScope reports
+	// whether findings rooted in a package should be reported (the rule
+	// may still traverse out-of-scope packages for call-graph context).
+	RunModule func(pkgs []*Package, inScope func(*Package) bool, report func(pos token.Pos, format string, args ...interface{}))
 }
 
 // Scope selects the packages a rule applies to, by module-relative path.
@@ -104,7 +112,12 @@ var NumericKernels = []string{
 	"internal/analysis",
 }
 
-// DefaultPolicy returns the repository's policy tiers.
+// DefaultPolicy returns the repository's policy tiers. The interprocedural
+// flow rules (built in internal/lint/flow) are scoped here alongside the
+// syntactic ones: flow-determinism guards the same deterministic core the
+// time-now/global-rand rules do, but follows taint through helper chains
+// in *any* package; the remaining flow rules are module-wide because
+// their findings are rooted wherever the annotation or spawn site lives.
 func DefaultPolicy() Policy {
 	mapOrder := append(append([]string(nil), DeterministicCore...), NumericKernels...)
 	return Policy{
@@ -116,6 +129,11 @@ func DefaultPolicy() Policy {
 		"fmt-print":        {Include: []string{"internal"}, Exclude: []string{"internal/cliutil"}},
 		"mutex-copy":       {},
 		"waitgroup-misuse": {},
+		"flow-determinism": {Include: DeterministicCore},
+		"hotpath-alloc":    {},
+		"goroutine-join":   {},
+		"lock-order":       {},
+		StaleWaiverRule:    {},
 	}
 }
 
@@ -133,28 +151,49 @@ func AllRules() []Rule {
 	}
 }
 
+// StaleWaiverRule names the synthetic rule that flags //lfolint:ignore
+// directives which no longer suppress anything. It is emitted by Run
+// itself (not by a Rule) because staleness is only decidable after every
+// other rule has reported: a directive is stale when all the rules it
+// names ran and none of them produced a finding on its line. Enable it by
+// including it in the policy; lfolint -only drops it automatically when
+// the requested subset could not prove staleness.
+const StaleWaiverRule = "stale-waiver"
+
 // Run applies every rule its policy scopes to each package and returns the
-// non-suppressed diagnostics sorted by position.
+// non-suppressed diagnostics sorted by position. Module-wide rules run
+// once over the full package list. When the policy enables
+// StaleWaiverRule, directives that suppressed nothing are reported too.
 func Run(pkgs []*Package, rules []Rule, policy Policy) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		sup, malformed := suppressions(pkg)
-		diags = append(diags, malformed...)
-		for _, rule := range rules {
-			scope, ok := policy[rule.Name]
-			if !ok {
-				continue // rule not enabled by this policy
+	sup, diags := collectSuppressions(pkgs)
+	ran := make(map[string]bool)
+	for _, rule := range rules {
+		scope, ok := policy[rule.Name]
+		if !ok {
+			continue // rule not enabled by this policy
+		}
+		ran[rule.Name] = true
+		report := func(pos token.Pos, format string, args ...interface{}) {
+			d := Diagnostic{Pos: pkgs[0].Fset.Position(pos), Rule: rule.Name, Message: fmt.Sprintf(format, args...)}
+			if !sup.covers(d) {
+				diags = append(diags, d)
 			}
-			if !scope.Matches(pkg.Rel) {
+		}
+		if rule.RunModule != nil {
+			if len(pkgs) == 0 {
 				continue
 			}
-			rule.Run(pkg, func(pos token.Pos, format string, args ...interface{}) {
-				d := Diagnostic{Pos: pkg.Fset.Position(pos), Rule: rule.Name, Message: fmt.Sprintf(format, args...)}
-				if !sup.covers(d) {
-					diags = append(diags, d)
-				}
-			})
+			rule.RunModule(pkgs, func(p *Package) bool { return scope.Matches(p.Rel) }, report)
+			continue
 		}
+		for _, pkg := range pkgs {
+			if scope.Matches(pkg.Rel) {
+				rule.Run(pkg, report)
+			}
+		}
+	}
+	if _, ok := policy[StaleWaiverRule]; ok {
+		diags = append(diags, staleWaivers(sup, ran)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -175,57 +214,120 @@ func Run(pkgs []*Package, rules []Rule, policy Policy) []Diagnostic {
 // ignorePrefix introduces a suppression directive comment.
 const ignorePrefix = "//lfolint:ignore"
 
-// suppressed records which (file, line) pairs waive which rules.
-type suppressed map[string]map[int]map[string]bool
-
-func (s suppressed) covers(d Diagnostic) bool {
-	lines := s[d.Pos.Filename]
-	// A directive suppresses findings on its own line and the line below
-	// it, so both trailing and standalone comment placement work.
-	return lines[d.Pos.Line][d.Rule] || lines[d.Pos.Line-1][d.Rule]
+// directive is one well-formed //lfolint:ignore comment. Run marks it
+// used when it suppresses a finding; unused directives become
+// stale-waiver findings themselves.
+type directive struct {
+	pos   token.Position
+	rules []string
+	// testFile marks directives found in _test.go files, which lfolint
+	// never lints: such a waiver can never suppress anything.
+	testFile bool
+	used     bool
 }
 
-// suppressions scans a package's comments for //lfolint:ignore directives.
-// Directives missing a reason are themselves reported: a waiver with no
+// suppressed indexes directives by (filename, line) and keeps the full
+// list for the stale-waiver pass.
+type suppressed struct {
+	byLine map[string]map[int][]*directive
+	all    []*directive
+}
+
+func (s *suppressed) covers(d Diagnostic) bool {
+	lines := s.byLine[d.Pos.Filename]
+	// A directive suppresses findings on its own line and the line below
+	// it, so both trailing and standalone comment placement work.
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range lines[line] {
+			for _, r := range dir.rules {
+				if r == d.Rule {
+					dir.used = true
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every package's comments (including test
+// files, where waivers are inert) for //lfolint:ignore directives.
+// Directives missing a reason are reported immediately: a waiver with no
 // justification is exactly the silent regression the linter exists to
 // prevent.
-func suppressions(pkg *Package) (suppressed, []Diagnostic) {
-	sup := make(suppressed)
+func collectSuppressions(pkgs []*Package) (*suppressed, []Diagnostic) {
+	sup := &suppressed{byLine: make(map[string]map[int][]*directive)}
 	var malformed []Diagnostic
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
-				if !ok {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					malformed = append(malformed, Diagnostic{
-						Pos:     pos,
-						Rule:    "suppression",
-						Message: "malformed //lfolint:ignore directive: want \"//lfolint:ignore <rule> <reason>\" with a non-empty reason",
-					})
-					continue
-				}
-				byLine := sup[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					sup[pos.Filename] = byLine
-				}
-				rules := byLine[pos.Line]
-				if rules == nil {
-					rules = make(map[string]bool)
-					byLine[pos.Line] = rules
-				}
-				for _, r := range strings.Split(fields[0], ",") {
-					rules[r] = true
+	for _, pkg := range pkgs {
+		files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
+		for i, f := range files {
+			isTest := i >= len(pkg.Files)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						malformed = append(malformed, Diagnostic{
+							Pos:     pos,
+							Rule:    "suppression",
+							Message: "malformed //lfolint:ignore directive: want \"//lfolint:ignore <rule> <reason>\" with a non-empty reason",
+						})
+						continue
+					}
+					dir := &directive{pos: pos, rules: strings.Split(fields[0], ","), testFile: isTest}
+					byLine := sup.byLine[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int][]*directive)
+						sup.byLine[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], dir)
+					sup.all = append(sup.all, dir)
 				}
 			}
 		}
 	}
 	return sup, malformed
+}
+
+// staleWaivers reports directives that provably suppressed nothing: every
+// rule the directive names was executed this run and none fired on its
+// line. Directives naming a rule that did not run are skipped — their
+// staleness is undecidable — except in test files, where no rule ever
+// runs and every directive is dead by construction.
+func staleWaivers(sup *suppressed, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range sup.all {
+		if dir.used {
+			continue
+		}
+		if dir.testFile {
+			out = append(out, Diagnostic{
+				Pos:     dir.pos,
+				Rule:    StaleWaiverRule,
+				Message: fmt.Sprintf("//lfolint:ignore %s in a _test.go file has no effect: lfolint does not lint test files; delete the directive", strings.Join(dir.rules, ",")),
+			})
+			continue
+		}
+		decidable := true
+		for _, r := range dir.rules {
+			if !ran[r] {
+				decidable = false
+				break
+			}
+		}
+		if decidable {
+			out = append(out, Diagnostic{
+				Pos:     dir.pos,
+				Rule:    StaleWaiverRule,
+				Message: fmt.Sprintf("stale waiver: rule(s) %s no longer report on this line; delete the //lfolint:ignore directive", strings.Join(dir.rules, ",")),
+			})
+		}
+	}
+	return out
 }
 
 // inspect walks every file of the package.

@@ -24,6 +24,7 @@ var fixtureRule = map[string]string{
 	"wgmisuse":     "waitgroup-misuse",
 	"suppress":     "time-now", // exercises the waiver mechanism
 	"suppressbad":  "time-now", // checked by TestMalformedSuppression
+	"stalewaiver":  "time-now", // checked by TestStaleWaiver
 }
 
 func loadFixtures(t *testing.T) map[string]*lint.Package {
@@ -140,6 +141,39 @@ func TestMalformedSuppression(t *testing.T) {
 	}
 	if diags[1].Rule != "time-now" {
 		t.Errorf("second diagnostic should be the unsuppressed time-now finding, got %s", diags[1])
+	}
+}
+
+// TestStaleWaiver pins the three directive fates: a waiver suppressing a
+// live finding stays silent, a waiver whose rule ran but no longer fires
+// becomes a finding, a waiver naming a rule that did not run is left
+// alone, and a waiver in a _test.go file is always reported dead.
+func TestStaleWaiver(t *testing.T) {
+	p := loadFixtures(t)["stalewaiver"]
+	if p == nil {
+		t.Fatal("fixture package stalewaiver not loaded")
+	}
+	rule := ruleByName(t, "time-now")
+	policy := lint.Policy{rule.Name: lint.Scope{}, lint.StaleWaiverRule: lint.Scope{}}
+	diags := lint.Run([]*lint.Package{p}, []lint.Rule{rule}, policy)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (one stale waiver + one dead test-file waiver):\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != lint.StaleWaiverRule {
+			t.Errorf("diagnostic has rule %q, want %q: %s", d.Rule, lint.StaleWaiverRule, d)
+		}
+	}
+	if !strings.Contains(diags[0].Message, "stale waiver") || !strings.Contains(diags[0].Pos.Filename, "stalewaiver.go") {
+		t.Errorf("first diagnostic should be the stale waiver in stalewaiver.go, got %s", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, "_test.go file has no effect") || !strings.Contains(diags[1].Pos.Filename, "stalewaiver_test.go") {
+		t.Errorf("second diagnostic should be the dead test-file waiver, got %s", diags[1])
+	}
+	// Without StaleWaiverRule in the policy nothing is reported: the live
+	// waiver suppresses its finding and staleness is not audited.
+	if extra := lint.Run([]*lint.Package{p}, []lint.Rule{rule}, lint.Policy{rule.Name: lint.Scope{}}); len(extra) != 0 {
+		t.Errorf("policy without %s still reported %v", lint.StaleWaiverRule, extra)
 	}
 }
 

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -24,6 +26,9 @@ type Package struct {
 	Dir string
 	// Files are the parsed non-test source files.
 	Files []*ast.File
+	// TestFiles are the parsed _test.go files. They are parsed for
+	// comments only (suppression auditing), never type-checked or linted.
+	TestFiles []*ast.File
 	// Fset positions every file in Files.
 	Fset *token.FileSet
 	// Types is the type-checked package.
@@ -128,6 +133,9 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if pkg == nil {
+			continue // every file excluded by build constraints
+		}
 		out = append(out, pkg)
 	}
 	return out, nil
@@ -163,28 +171,77 @@ func (l *Loader) load(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: %w", err)
 	}
-	var files []*ast.File
+	var files, testFiles []*ast.File
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
 		f, perr := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if perr != nil {
 			return nil, fmt.Errorf("lint: %w", perr)
 		}
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			testFiles = append(testFiles, f)
+			continue
+		}
+		if !buildTagsSatisfied(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no Go source in %s", dir)
+		l.pkgs[path] = nil // remembered: nothing buildable here
+		return nil, nil
 	}
 	conf := types.Config{Importer: (*loaderImporter)(l)}
 	tpkg, err := conf.Check(path, l.fset, files, l.info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
 	}
-	p := &Package{Path: path, Rel: rel, Dir: dir, Files: files, Fset: l.fset, Types: tpkg, Info: l.info}
+	p := &Package{Path: path, Rel: rel, Dir: dir, Files: files, TestFiles: testFiles, Fset: l.fset, Types: tpkg, Info: l.info}
 	l.pkgs[path] = p
 	return p, nil
+}
+
+// unixGOOS lists the GOOS values the "unix" build tag covers (the subset
+// this repository could plausibly build on).
+var unixGOOS = map[string]bool{
+	"linux": true, "darwin": true, "freebsd": true, "netbsd": true,
+	"openbsd": true, "dragonfly": true, "solaris": true, "aix": true,
+}
+
+// buildTagsSatisfied evaluates the file's //go:build constraint (if any)
+// for the host GOOS/GOARCH under the gc toolchain with cgo disabled.
+// Files with no constraint always build. Release tags (go1.x) are assumed
+// satisfied — the toolchain compiling lfolint is at least as new as the
+// module's go directive.
+func buildTagsSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed constraint: let the type-checker complain
+			}
+			return expr.Eval(func(tag string) bool {
+				switch {
+				case tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc":
+					return true
+				case tag == "unix":
+					return unixGOOS[runtime.GOOS]
+				case strings.HasPrefix(tag, "go1"):
+					return true
+				}
+				return false
+			})
+		}
+	}
+	return true
 }
 
 // loaderImporter adapts the Loader for use as a types.Importer: module
@@ -202,6 +259,9 @@ func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*
 		p, err := l.load(path)
 		if err != nil {
 			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("lint: no buildable Go source for %s", path)
 		}
 		return p.Types, nil
 	}

@@ -1,0 +1,153 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lfo/internal/lint"
+)
+
+func loadFixtureModule(t *testing.T, name string) []*lint.Package {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", name, err)
+	}
+	return pkgs
+}
+
+// TestLoadMultiPackageModule walks a nested module and pins exactly which
+// directories become packages: the root, the nested chain, and the
+// build-tagged package — but not the constraint-excluded directory and
+// never anything under vendor/.
+func TestLoadMultiPackageModule(t *testing.T) {
+	pkgs := loadFixtureModule(t, "loader")
+	got := make(map[string]*lint.Package, len(pkgs))
+	var rels []string
+	for _, p := range pkgs {
+		got[p.Rel] = p
+		rels = append(rels, p.Rel)
+	}
+	for _, rel := range []string{"", "a", "a/b", "tagged"} {
+		if got[rel] == nil {
+			t.Errorf("package %q not loaded; have %v", rel, rels)
+		}
+	}
+	if got["skiponly"] != nil {
+		t.Errorf("skiponly has no buildable files and must be skipped")
+	}
+	for rel := range got {
+		if strings.HasPrefix(rel, "vendor") {
+			t.Errorf("vendored package %q must not be walked", rel)
+		}
+	}
+	if root := got[""]; root != nil {
+		if root.Path != "loaderfix" {
+			t.Errorf("root package path = %q, want loaderfix", root.Path)
+		}
+		if root.Types == nil || root.Types.Name() != "loaderfix" {
+			t.Errorf("root package not type-checked")
+		}
+	}
+	if a := got["a"]; a != nil && a.Path != "loaderfix/a" {
+		t.Errorf("nested package path = %q, want loaderfix/a", a.Path)
+	}
+}
+
+// TestLoadBuildTags checks //go:build evaluation: the unconstrained and
+// gc-tagged files load, the never-satisfied one is excluded (it declares
+// a conflicting const, so mistakenly loading it fails the type check).
+func TestLoadBuildTags(t *testing.T) {
+	pkgs := loadFixtureModule(t, "loader")
+	var tagged *lint.Package
+	for _, p := range pkgs {
+		if p.Rel == "tagged" {
+			tagged = p
+		}
+	}
+	if tagged == nil {
+		t.Fatal("tagged package not loaded")
+	}
+	var names []string
+	for _, f := range tagged.Files {
+		names = append(names, filepath.Base(tagged.Fset.Position(f.Pos()).Filename))
+	}
+	want := map[string]bool{"doc.go": true, "on.go": true}
+	if len(names) != len(want) {
+		t.Fatalf("tagged files = %v, want doc.go and on.go only", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("file %s should have been excluded by its build constraint", n)
+		}
+	}
+}
+
+// TestLoadTestFilesParsedNotChecked pins the test-file contract: _test.go
+// files are collected for comment auditing but never type-checked — the
+// fixture's test file references an undefined identifier on purpose.
+func TestLoadTestFilesParsedNotChecked(t *testing.T) {
+	pkgs := loadFixtureModule(t, "loader")
+	for _, p := range pkgs {
+		if p.Rel != "a" {
+			continue
+		}
+		if len(p.TestFiles) != 1 {
+			t.Fatalf("package a has %d test files, want 1", len(p.TestFiles))
+		}
+		name := filepath.Base(p.Fset.Position(p.TestFiles[0].Pos()).Filename)
+		if name != "a_test.go" {
+			t.Errorf("test file = %s, want a_test.go", name)
+		}
+		return
+	}
+	t.Fatal("package a not loaded")
+}
+
+// TestLoadErrorOnUnbuildableImport: importing a package whose every file
+// is excluded by build constraints is a load error, not a silent skip.
+func TestLoadErrorOnUnbuildableImport(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "loaderbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = lint.LoadModule(root)
+	if err == nil {
+		t.Fatal("LoadModule(loaderbad) succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "no buildable Go source") {
+		t.Errorf("error %q does not name the unbuildable import", err)
+	}
+}
+
+// TestLoadOwnPackages is the self-hosting regression: lfolint must be
+// able to load the packages that implement lfolint.
+func TestLoadOwnPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	want := map[string]bool{"internal/lint": false, "internal/lint/flow": false, "cmd/lfolint": false}
+	for _, p := range pkgs {
+		if _, ok := want[p.Rel]; ok {
+			want[p.Rel] = true
+		}
+	}
+	for rel, seen := range want {
+		if !seen {
+			t.Errorf("package %s did not load", rel)
+		}
+	}
+}

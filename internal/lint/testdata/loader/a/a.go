@@ -1,0 +1,7 @@
+// Package a imports its own subpackage, exercising nested resolution.
+package a
+
+import "loaderfix/a/b"
+
+// A chains into the doubly nested package.
+func A() int { return b.B() + 1 }

@@ -1,0 +1,5 @@
+package a
+
+// Test files are parsed for comments only, never type-checked: this
+// undefined reference must not break loading.
+var _ = thisIdentifierDoesNotExistAnywhere

@@ -1,0 +1,5 @@
+// Package b is the innermost package of the loader-test module.
+package b
+
+// B anchors the import chain.
+func B() int { return 40 }

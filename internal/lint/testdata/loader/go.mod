@@ -1,0 +1,3 @@
+module loaderfix
+
+go 1.22

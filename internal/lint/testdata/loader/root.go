@@ -1,0 +1,7 @@
+// Package loaderfix is the root package of the loader-test module.
+package loaderfix
+
+import "loaderfix/a"
+
+// Root exercises a root-package import of a nested package.
+func Root() int { return a.A() }

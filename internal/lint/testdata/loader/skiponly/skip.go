@@ -1,0 +1,7 @@
+//go:build lfolint_never_set
+
+// Package skiponly has no buildable files at all; LoadAll must skip the
+// directory instead of failing.
+package skiponly
+
+const Skipped = true

@@ -1,0 +1,5 @@
+// Package tagged mixes constrained and unconstrained files.
+package tagged
+
+// Always is in the unconstrained file.
+const Always = true

@@ -1,0 +1,7 @@
+//go:build lfolint_never_set
+
+package tagged
+
+// This file must be excluded by its build constraint; if it were loaded,
+// the duplicate Always declaration would fail the type check.
+const Always = false

@@ -1,0 +1,6 @@
+//go:build gc
+
+package tagged
+
+// OnGC is only visible under the gc toolchain, which is what builds us.
+const OnGC = true

@@ -1,0 +1,5 @@
+// Package vendored lives under vendor/ and must never be walked: lint
+// findings in third-party code are not ours to fix.
+package vendored
+
+func init() { panic("vendored code must not be loaded") }

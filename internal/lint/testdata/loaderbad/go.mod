@@ -1,0 +1,3 @@
+module loaderbad
+
+go 1.22

@@ -1,0 +1,5 @@
+//go:build lfolint_never_set
+
+package gone
+
+const Value = 1

@@ -1,0 +1,7 @@
+// Package loaderbad imports a package whose every file is excluded by
+// build constraints: loading must fail with a clear error.
+package loaderbad
+
+import "loaderbad/gone"
+
+var _ = gone.Value

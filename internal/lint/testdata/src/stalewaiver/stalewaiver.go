@@ -1,0 +1,26 @@
+// Package stalewaiver exercises stale-waiver detection: a directive that
+// suppresses a live finding is fine, one whose rule ran but no longer
+// fires is itself a finding, and one naming a rule that did not run is
+// left alone (staleness undecidable).
+package stalewaiver
+
+import "time"
+
+// Now carries a live waiver: the call below still fires time-now.
+func Now() time.Time {
+	//lfolint:ignore time-now this waiver is live: the call below still reads the clock
+	return time.Now()
+}
+
+// Stale carries a dead waiver: nothing on the next line reads a clock.
+func Stale() int {
+	//lfolint:ignore time-now the clock read was refactored away; directive left behind on purpose
+	return 42
+}
+
+// Undecidable waives a rule the test run does not enable; staleness
+// cannot be decided, so no finding.
+func Undecidable() int {
+	//lfolint:ignore global-rand rule not run in this test; must not be reported stale
+	return 7
+}

@@ -1,0 +1,13 @@
+package stalewaiver
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNow(t *testing.T) {
+	//lfolint:ignore time-now waivers in test files are always dead: lfolint does not lint tests
+	if Now().After(time.Now()) {
+		t.Fatal("clock went backwards")
+	}
+}

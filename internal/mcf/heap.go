@@ -23,7 +23,9 @@ func (h *heap) reset() {
 }
 
 func (h *heap) push(d int64, n int32) {
+	//lfolint:ignore hotpath-alloc heap storage grows to the frontier high-water mark; reset() keeps the capacity across solves
 	h.dist = append(h.dist, d)
+	//lfolint:ignore hotpath-alloc heap storage grows to the frontier high-water mark; reset() keeps the capacity across solves
 	h.node = append(h.node, n)
 	i := len(h.dist) - 1
 	for i > 0 {

@@ -209,47 +209,12 @@ func (s *Solver) Solve(g *Graph) (int64, error) {
 	nn := g.n + 2
 
 	s.grow(nn)
-	pot, dist, visited, prevEdge := s.pot, s.dist, s.visited, s.prevEdge
+	pot, dist := s.pot, s.dist
 
 	var totalCost int64
 	routed := int64(0)
-	h := s.h
 	for routed < totalSupply {
-		// Dijkstra from the super-source on reduced costs.
-		for i := range dist {
-			dist[i] = math.MaxInt64
-			visited[i] = false
-			prevEdge[i] = -1
-		}
-		dist[src] = 0
-		h.reset()
-		h.push(0, int32(src))
-		for h.len() > 0 {
-			d, u := h.pop()
-			if visited[u] {
-				continue
-			}
-			visited[u] = true
-			if int(u) == t {
-				break
-			}
-			for e := g.head[u]; e != -1; e = g.next[e] {
-				if g.cap[e] <= 0 {
-					continue
-				}
-				v := g.to[e]
-				if visited[v] {
-					continue
-				}
-				nd := d + g.cost[e] + pot[u] - pot[v]
-				if nd < dist[v] {
-					dist[v] = nd
-					prevEdge[v] = e
-					h.push(nd, v)
-				}
-			}
-		}
-		if !visited[t] {
+		if !s.dijkstra(g, src, t) {
 			return 0, fmt.Errorf("%w: %d of %d units unroutable", ErrInfeasible, totalSupply-routed, totalSupply)
 		}
 		// Update potentials. Dijkstra terminated as soon as t was
@@ -264,25 +229,82 @@ func (s *Solver) Solve(g *Graph) (int64, error) {
 				pot[v] += dt
 			}
 		}
-		// Find bottleneck along the source..t path and augment.
-		bottleneck := totalSupply - routed
-		for v := int32(t); int(v) != src; {
-			e := prevEdge[v]
-			if g.cap[e] < bottleneck {
-				bottleneck = g.cap[e]
-			}
-			v = g.to[e^1]
-		}
-		for v := int32(t); int(v) != src; {
-			e := prevEdge[v]
-			g.cap[e] -= bottleneck
-			g.cap[e^1] += bottleneck
-			totalCost += bottleneck * g.cost[e]
-			v = g.to[e^1]
-		}
-		routed += bottleneck
+		n, c := s.augment(g, src, t, totalSupply-routed)
+		routed += n
+		totalCost += c
 	}
 	return totalCost, nil
+}
+
+// dijkstra runs one shortest-path pass from src over reduced costs,
+// filling s.dist and s.prevEdge, and reports whether t was reached. One
+// pass runs per augmenting path, so this is the solver's hottest loop and
+// is held to the zero-allocation discipline.
+//
+//lfo:hotpath
+func (s *Solver) dijkstra(g *Graph, src, t int) bool {
+	pot, dist, visited, prevEdge := s.pot, s.dist, s.visited, s.prevEdge
+	for i := range dist {
+		dist[i] = math.MaxInt64
+		visited[i] = false
+		prevEdge[i] = -1
+	}
+	dist[src] = 0
+	h := s.h
+	h.reset()
+	h.push(0, int32(src))
+	for h.len() > 0 {
+		d, u := h.pop()
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		if int(u) == t {
+			break
+		}
+		for e := g.head[u]; e != -1; e = g.next[e] {
+			if g.cap[e] <= 0 {
+				continue
+			}
+			v := g.to[e]
+			if visited[v] {
+				continue
+			}
+			nd := d + g.cost[e] + pot[u] - pot[v]
+			if nd < dist[v] {
+				dist[v] = nd
+				prevEdge[v] = e
+				h.push(nd, v)
+			}
+		}
+	}
+	return visited[t]
+}
+
+// augment pushes flow along the predecessor path t..src recorded by
+// dijkstra, bounded by remaining, and returns the units routed and their
+// cost contribution.
+//
+//lfo:hotpath
+func (s *Solver) augment(g *Graph, src, t int, remaining int64) (int64, int64) {
+	prevEdge := s.prevEdge
+	bottleneck := remaining
+	for v := int32(t); int(v) != src; {
+		e := prevEdge[v]
+		if g.cap[e] < bottleneck {
+			bottleneck = g.cap[e]
+		}
+		v = g.to[e^1]
+	}
+	var cost int64
+	for v := int32(t); int(v) != src; {
+		e := prevEdge[v]
+		g.cap[e] -= bottleneck
+		g.cap[e^1] += bottleneck
+		cost += bottleneck * g.cost[e]
+		v = g.to[e^1]
+	}
+	return bottleneck, cost
 }
 
 // addInternal appends an edge without bounds checks; used for the

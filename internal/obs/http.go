@@ -95,6 +95,7 @@ func ServeDebug(addr string, r *Registry) (net.Addr, func() error, error) {
 		return nil, nil, err
 	}
 	srv := &http.Server{Handler: DebugMux(r)}
+	//lfolint:ignore goroutine-join the returned srv.Close is the join: Serve exits once the caller invokes it
 	go func() {
 		// Serve always returns a non-nil error on Close; nothing to do
 		// with it here.

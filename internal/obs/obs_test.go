@@ -184,6 +184,7 @@ func TestRecordingDoesNotAllocate(t *testing.T) {
 func BenchmarkCounterInc(b *testing.B) {
 	c := NewRegistry().Counter("c")
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Inc()
 	}
@@ -192,6 +193,7 @@ func BenchmarkCounterInc(b *testing.B) {
 func BenchmarkHistogramObserve(b *testing.B) {
 	h := NewRegistry().Histogram("h", LatencyBounds)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Observe(int64(i))
 	}
@@ -200,7 +202,23 @@ func BenchmarkHistogramObserve(b *testing.B) {
 func BenchmarkScope(b *testing.B) {
 	h := NewRegistry().Histogram("h", LatencyBounds)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Start(h).Stop()
+	}
+}
+
+// BenchmarkRequestObs is the per-request observability path a serving
+// loop pays — a counter increment plus a latency scope — pinned to 0
+// allocs/op by testdata/alloc_budgets.txt (scripts/check.sh).
+func BenchmarkRequestObs(b *testing.B) {
+	r := NewRegistry()
+	reqs := r.Counter("requests")
+	lat := r.Histogram("latency", LatencyBounds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqs.Inc()
+		Start(lat).Stop()
 	}
 }

@@ -45,6 +45,7 @@ func Ranges(n, workers, minChunk int, fn func(lo, hi int)) {
 		chunks = workers
 	}
 	if chunks <= 1 {
+		//lfolint:ignore hotpath-alloc fn is the caller's range body; hot-path callers verify it at their own annotation root
 		fn(0, n)
 		return
 	}
@@ -60,8 +61,10 @@ func Ranges(n, workers, minChunk int, fn func(lo, hi int)) {
 			break
 		}
 		wg.Add(1)
+		//lfolint:ignore hotpath-alloc one goroutine+closure per chunk of >=minChunk indices, amortized across the range
 		go func(lo, hi int) {
 			defer wg.Done()
+			//lfolint:ignore hotpath-alloc fn is the caller's range body; hot-path callers verify it at their own annotation root
 			fn(lo, hi)
 		}(lo, hi)
 	}

@@ -90,7 +90,6 @@ func TestShardsSumDeterministic(t *testing.T) {
 	}
 	want := sum(1)
 	for _, workers := range []int{2, 4, 8} {
-		//lfolint:ignore float-equal bit-identity across worker counts is the property under test
 		if got := sum(workers); got != want {
 			t.Errorf("workers=%d sum %v != sequential %v", workers, got, want)
 		}

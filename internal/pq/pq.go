@@ -40,7 +40,9 @@ func (q *Queue) Push(id trace.ObjectID, prio float64) {
 		panic(fmt.Sprintf("pq: Queue duplicate id %d", id))
 	}
 	q.seq++
+	//lfolint:ignore hotpath-alloc one small entry per admission; bounded by the admission rate, not the request rate
 	e := &entry{id: id, prio: prio, tie: q.seq, index: len(q.items)}
+	//lfolint:ignore hotpath-alloc heap storage grows to the peak resident count, then stays
 	q.items = append(q.items, e)
 	q.byID[id] = e
 	q.up(e.index)

@@ -318,6 +318,7 @@ func (s *Server) acceptLoop() {
 			s.mu.Unlock()
 			s.m.connRejects.Inc()
 			s.degrade("conn_limit", conn.RemoteAddr(), nil)
+			s.wg.Add(1)
 			go s.rejectConn(conn)
 			continue
 		}
@@ -331,6 +332,7 @@ func (s *Server) acceptLoop() {
 // rejectConn answers an over-limit connection with an error frame (best
 // effort, bounded by the write timeout) and closes it.
 func (s *Server) rejectConn(conn net.Conn) {
+	defer s.wg.Done()
 	if wt := s.writeTimeout(); wt > 0 {
 		_ = conn.SetWriteDeadline(time.Now().Add(wt)) // best-effort bound on the goodbye frame
 	}

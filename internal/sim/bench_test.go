@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"testing"
+
+	"lfo/internal/trace"
+)
+
+// benchTrace builds a deterministic Zipf-ish request stream without
+// pulling in the generator: object k recurs with period k+1.
+func benchTrace(n int) *trace.Trace {
+	t := &trace.Trace{Requests: make([]trace.Request, n)}
+	for i := 0; i < n; i++ {
+		id := trace.ObjectID(i % (1 + i%64))
+		t.Requests[i] = trace.Request{Time: int64(i), ID: id, Size: 100 + int64(id), Cost: 1}
+	}
+	return t
+}
+
+// BenchmarkRunRequestLoop replays a 4096-request trace per op, windowed,
+// against a zero-state policy: the measured allocations are the request
+// loop's own fixed overhead (metrics + one pre-sized window slice), so
+// any per-request allocation regression multiplies by 4096 and trips the
+// budget in testdata/alloc_budgets.txt immediately.
+func BenchmarkRunRequestLoop(b *testing.B) {
+	tr := benchTrace(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(tr, neverHit{}, Options{WindowSize: 256})
+	}
+}

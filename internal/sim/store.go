@@ -81,6 +81,7 @@ func (s *Store[T]) Add(id trace.ObjectID, size int64) *StoreEntry[T] {
 		var zero T
 		e.ID, e.Size, e.Payload = id, size, zero
 	} else {
+		//lfolint:ignore hotpath-alloc freelist miss: one entry per new peak-resident object, recycled forever after
 		e = &StoreEntry[T]{ID: id, Size: size}
 	}
 	s.entries[id] = e
@@ -96,6 +97,7 @@ func (s *Store[T]) Remove(id trace.ObjectID) {
 	}
 	delete(s.entries, id)
 	s.used -= e.Size
+	//lfolint:ignore hotpath-alloc freelist backing array grows to the peak resident count, then recycles
 	s.free = append(s.free, e)
 }
 

@@ -1,0 +1,58 @@
+# allocgate.awk — alloc-budget regression gate (scripts/check.sh).
+#
+# Reads `go test -bench -benchmem` output on stdin and compares each
+# benchmark's allocs/op against the budgets file passed via
+# -v budgets=<path> (format: "<BenchmarkName> <max allocs/op>", with
+# '#' comments). Exits non-zero when any benchmark exceeds its budget,
+# reports a benchmark with no budget line, or a budgeted benchmark did
+# not appear in the input — so neither a regression nor a silently
+# skipped benchmark can pass the gate.
+BEGIN {
+    if (budgets == "") {
+        print "allocgate: pass -v budgets=<file>" > "/dev/stderr"
+        exit 2
+    }
+    n = 0
+    while ((getline line < budgets) > 0) {
+        sub(/#.*/, "", line)
+        if (line ~ /^[ \t]*$/) continue
+        split(line, f, /[ \t]+/)
+        budget[f[1]] = f[2]
+        n++
+    }
+    close(budgets)
+    if (n == 0) {
+        printf "allocgate: no budgets found in %s\n", budgets > "/dev/stderr"
+        exit 2
+    }
+}
+/allocs\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (allocs == "") next
+    if (!(name in budget)) {
+        printf "allocgate: %s has no budget in %s; add one\n", name, budgets > "/dev/stderr"
+        bad = 1
+        next
+    }
+    seen[name] = 1
+    if (allocs + 0 > budget[name] + 0) {
+        printf "allocgate: %s at %d allocs/op exceeds budget %d\n", name, allocs, budget[name] > "/dev/stderr"
+        bad = 1
+    } else {
+        printf "   %s: %d allocs/op (budget %d)\n", name, allocs, budget[name]
+    }
+}
+END {
+    for (name in budget) {
+        if (!(name in seen)) {
+            printf "allocgate: budgeted benchmark %s did not run\n", name > "/dev/stderr"
+            bad = 1
+        }
+    }
+    exit bad
+}

@@ -58,6 +58,30 @@ step "go test -cover floors"
 cover_floor ./internal/server 85
 cover_floor ./internal/faultnet 70
 
+# Alloc-budget regression gate over the pinned hot-path benchmarks. The
+# budgets in testdata/alloc_budgets.txt are exact current figures; any
+# increase fails. The gate is self-tested first: fabricated output one
+# alloc over budget must fail, so a broken parser cannot silently pass.
+step "alloc budgets (self-test)"
+synth_bench() { # fabricate bench output with every budget shifted by $1
+    awk -v delta="$1" '!/^[ \t]*#/ && NF { printf "%s-8 100 10 ns/op 0 B/op %d allocs/op\n", $1, $2 + delta }' \
+        testdata/alloc_budgets.txt
+}
+if ! synth_bench 0 | awk -v budgets=testdata/alloc_budgets.txt -f scripts/allocgate.awk >/dev/null; then
+    echo "allocgate self-test failed: at-budget output was rejected" >&2
+    exit 1
+fi
+if synth_bench 1 | awk -v budgets=testdata/alloc_budgets.txt -f scripts/allocgate.awk >/dev/null 2>&1; then
+    echo "allocgate self-test failed: +1 allocs/op regression was not caught" >&2
+    exit 1
+fi
+
+step "alloc budgets"
+go test -run '^$' \
+    -bench '^(BenchmarkPredict|BenchmarkPredictBatch|BenchmarkRunRequestLoop|BenchmarkRequestObs)$' \
+    -benchmem -benchtime 200x ./internal/gbdt ./internal/sim ./internal/obs \
+    | awk -v budgets=testdata/alloc_budgets.txt -f scripts/allocgate.awk
+
 # Short fuzz smoke over the frame codec and the model parser. The
 # committed seed corpora under testdata/fuzz always replay; the smoke
 # additionally mutates for a few seconds per target. -fuzzminimizetime
