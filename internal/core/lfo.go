@@ -240,6 +240,12 @@ func New(cfg Config) (*LFO, error) {
 		if cfg.InitialModel.Dim != features.Dim {
 			return nil, fmt.Errorf("core: InitialModel dim %d != %d", cfg.InitialModel.Dim, features.Dim)
 		}
+		// Compile the flat inference kernel for hand-assembled warm-start
+		// models; trained/loaded models are already compiled and recompile
+		// cheaply.
+		if err := cfg.InitialModel.Compile(); err != nil {
+			return nil, fmt.Errorf("core: InitialModel: %v", err)
+		}
 		p.model = cfg.InitialModel
 	}
 	return p, nil
@@ -417,7 +423,7 @@ func (p *LFO) retrain() {
 // window with one batched prediction.
 func (p *LFO) retrainStats(model *gbdt.Model, ds *gbdt.Dataset, res *opt.Result) RetrainStats {
 	preds := make([]float64, ds.Len())
-	model.PredictBatch(p.winFeats, preds, p.cfg.Workers)
+	model.PredictMatrix(p.winFeats, preds, p.cfg.Workers)
 	correct, pos := 0, 0
 	for i := 0; i < ds.Len(); i++ {
 		pred := preds[i] >= p.cfg.Cutoff
@@ -518,7 +524,7 @@ func trainWindow(reqs []trace.Request, feats []float64, cfg Config, m coreMetric
 	tr := trainResult{model: model}
 	if cfg.OnRetrain != nil {
 		preds := make([]float64, ds.Len())
-		model.PredictBatch(feats, preds, cfg.Workers)
+		model.PredictMatrix(feats, preds, cfg.Workers)
 		correct, pos := 0, 0
 		for i := 0; i < ds.Len(); i++ {
 			pred := preds[i] >= cfg.Cutoff
@@ -582,7 +588,7 @@ func (p *LFO) rescoreWith(ids []trace.ObjectID, rows []float64) {
 		return
 	}
 	scores := make([]float64, len(ids))
-	p.model.PredictBatch(rows, scores, p.cfg.Workers)
+	p.model.PredictMatrix(rows, scores, p.cfg.Workers)
 	for i, id := range ids {
 		p.rank.Update(id, scores[i])
 	}

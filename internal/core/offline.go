@@ -115,7 +115,7 @@ type EvalResult struct {
 // all cores; the verdict is identical to a sequential scan.
 func Evaluate(m *gbdt.Model, e *Extraction, cutoff float64) EvalResult {
 	probs := make([]float64, e.Requests)
-	m.PredictBatch(e.Feats[:e.Requests*features.Dim], probs, 0)
+	m.PredictMatrix(e.Feats[:e.Requests*features.Dim], probs, 0)
 	var res EvalResult
 	fp, fn := 0, 0
 	for i := 0; i < e.Requests; i++ {

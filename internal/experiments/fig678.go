@@ -136,13 +136,13 @@ func Fig7(cfg Config, threads []int) ([]ThroughputPoint, error) {
 	var pts []ThroughputPoint
 	for _, th := range threads {
 		// Warm up once, then time enough repetitions for a stable rate.
-		model.PredictBatch(rows, out, th)
+		model.PredictMatrix(rows, out, th)
 		const minDuration = 200 * time.Millisecond
 		reps, elapsed := 0, time.Duration(0)
 		//lfolint:ignore time-now throughput benchmarking measures wall-clock by design
 		start := time.Now()
 		for elapsed < minDuration {
-			model.PredictBatch(rows, out, th)
+			model.PredictMatrix(rows, out, th)
 			reps++
 			elapsed = time.Since(start)
 		}

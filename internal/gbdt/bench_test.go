@@ -4,7 +4,8 @@ import "testing"
 
 // benchModel builds a synthetic model of complete binary trees, sized to
 // look like a trained LFO classifier (depth-6 trees over a small feature
-// vector) without depending on the trainer.
+// vector) without depending on the trainer. The model is compiled, like
+// every trained or loaded model.
 func benchModel(trees, depth, dim int) *Model {
 	m := &Model{Dim: dim, BaseScore: 0.1}
 	for t := 0; t < trees; t++ {
@@ -28,18 +29,27 @@ func benchModel(trees, depth, dim int) *Model {
 		build(depth)
 		m.Trees = append(m.Trees, tr)
 	}
+	if err := m.Compile(); err != nil {
+		panic(err)
+	}
 	return m
 }
 
-// BenchmarkPredict is the per-row scoring hot path; it is pinned to 0
-// allocs/op by testdata/alloc_budgets.txt (scripts/check.sh) and enforced
-// statically by the //lfo:hotpath annotation on Predict.
+func benchRow(dim int) []float64 {
+	row := make([]float64, dim)
+	for i := range row {
+		row[i] = float64(i) / float64(dim)
+	}
+	return row
+}
+
+// BenchmarkPredict is the per-row serving hot path (Model.Predict over
+// the compiled flat kernel); it is pinned to 0 allocs/op by
+// testdata/alloc_budgets.txt (scripts/check.sh) and enforced statically by
+// the //lfo:hotpath annotation on Predict.
 func BenchmarkPredict(b *testing.B) {
 	m := benchModel(32, 6, 16)
-	row := make([]float64, m.Dim)
-	for i := range row {
-		row[i] = float64(i) / float64(m.Dim)
-	}
+	row := benchRow(m.Dim)
 	b.ReportAllocs()
 	b.ResetTimer()
 	var sink float64
@@ -51,19 +61,73 @@ func BenchmarkPredict(b *testing.B) {
 	}
 }
 
-// BenchmarkPredictBatch scores a 512-row matrix per op, single worker, so
-// the reported allocations are the batch fan-out's fixed overhead.
-func BenchmarkPredictBatch(b *testing.B) {
+// BenchmarkFlatPredict measures the compiled kernel called directly,
+// without the Model dispatch; pinned to 0 allocs/op.
+func BenchmarkFlatPredict(b *testing.B) {
 	m := benchModel(32, 6, 16)
-	const rows = 512
+	f := m.Flat()
+	row := benchRow(m.Dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += f.Predict(row)
+	}
+	if sink == -1 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkNodePredict measures the retired pointer-walk oracle on the
+// same model, as the in-tree baseline the flat kernel is compared against.
+func BenchmarkNodePredict(b *testing.B) {
+	m := benchModel(32, 6, 16)
+	row := benchRow(m.Dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += sigmoid(m.nodeRawPredict(row))
+	}
+	if sink == -1 {
+		b.Fatal("impossible")
+	}
+}
+
+func benchMatrix(m *Model, rows int) []float64 {
 	flat := make([]float64, rows*m.Dim)
 	for i := range flat {
 		flat[i] = float64(i%m.Dim) / float64(m.Dim)
 	}
+	return flat
+}
+
+// BenchmarkPredictBatch scores a 512-row matrix per op through the
+// historical entry point, single worker; 0 allocs/op now that the batch
+// fan-out passes a static function instead of a per-call closure.
+func BenchmarkPredictBatch(b *testing.B) {
+	m := benchModel(32, 6, 16)
+	const rows = 512
+	flat := benchMatrix(m, rows)
 	out := make([]float64, rows)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.PredictBatch(flat, out, 1)
+	}
+}
+
+// BenchmarkPredictMatrix scores a 512-row matrix per op with the
+// batch-major level-synchronous walk, single worker; pinned to 0
+// allocs/op.
+func BenchmarkPredictMatrix(b *testing.B) {
+	m := benchModel(32, 6, 16)
+	const rows = 512
+	flat := benchMatrix(m, rows)
+	out := make([]float64, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictMatrix(flat, out, 1)
 	}
 }

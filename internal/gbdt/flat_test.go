@@ -1,0 +1,289 @@
+package gbdt
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// splitMix is a SplitMix64 PRNG: deterministic rows without math/rand
+// state shared across tests.
+type splitMix struct{ s uint64 }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitMix) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// trainedFlatModel trains a real model over rows with NaN-valued features
+// so the learned missing-direction routing is exercised, not just the
+// numeric compares. Labels carry noise so the trainer grows full-depth
+// trees instead of separating the classes in a few splits.
+func trainedFlatModel(tb testing.TB, seed uint64, dim int) *Model {
+	tb.Helper()
+	rng := splitMix{s: seed}
+	ds := NewDataset(dim)
+	row := make([]float64, dim)
+	for i := 0; i < 4000; i++ {
+		s := 0.0
+		for j := range row {
+			v := rng.float() * 100
+			if rng.next()%7 == 0 {
+				v = math.NaN()
+			} else {
+				s += v
+			}
+			row[j] = v
+		}
+		label := 0.0
+		if (s > 50*float64(dim)/2) != (rng.next()%4 == 0) {
+			label = 1
+		}
+		ds.Append(row, label)
+	}
+	p := DefaultParams()
+	p.Workers = 1
+	m, err := Train(ds, p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// diffRows returns n deterministic test rows (flat row-major) mixing
+// in-range values, out-of-range values, and NaNs.
+func diffRows(seed uint64, n, dim int) []float64 {
+	rng := splitMix{s: seed}
+	rows := make([]float64, n*dim)
+	for i := range rows {
+		switch rng.next() % 8 {
+		case 0:
+			rows[i] = math.NaN()
+		case 1:
+			rows[i] = -rng.float() * 1e6
+		default:
+			rows[i] = rng.float() * 120
+		}
+	}
+	return rows
+}
+
+// TestFlatDifferentialTrained: on trained models the compiled kernel must
+// reproduce the pointer-walk oracle bit for bit, row by row.
+func TestFlatDifferentialTrained(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		m := trainedFlatModel(t, seed, 13)
+		if m.Flat() == nil {
+			t.Fatal("trained model was not compiled")
+		}
+		rows := diffRows(seed+100, 300, m.Dim)
+		for i := 0; i < 300; i++ {
+			row := rows[i*m.Dim : (i+1)*m.Dim]
+			got := m.RawPredict(row)
+			want := m.nodeRawPredict(row)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("seed %d row %d: flat %v (%#x) != oracle %v (%#x)",
+					seed, i, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestFlatDifferentialCorpus replays every committed fuzz-corpus seed:
+// any stream Load accepts must predict identically through the flat
+// kernel and the pointer walk.
+func TestFlatDifferentialCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzModelLoad")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus: %v", err)
+	}
+	loaded := 0
+	for _, e := range entries {
+		data, err := readCorpusEntry(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			continue // rejected streams have nothing to compare
+		}
+		loaded++
+		if m.Dim > 1<<12 {
+			continue
+		}
+		rows := diffRows(uint64(len(data)), 64, m.Dim)
+		for i := 0; i < 64; i++ {
+			row := rows[i*m.Dim : (i+1)*m.Dim]
+			got, want := m.RawPredict(row), m.nodeRawPredict(row)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s row %d: flat %v != oracle %v", e.Name(), i, got, want)
+			}
+		}
+	}
+	if loaded == 0 {
+		t.Fatal("no corpus entry loaded successfully; differential corpus check is vacuous")
+	}
+}
+
+// readCorpusEntry parses the `go test fuzz v1` + `[]byte("...")` format
+// of a committed corpus file.
+func readCorpusEntry(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Scan() // version header
+	sc.Scan()
+	line := strings.TrimSuffix(strings.TrimPrefix(sc.Text(), "[]byte("), ")")
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	s, err := strconv.Unquote(line)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}
+
+// TestPredictMatrixWorkerInvariance: the batched walk must be
+// byte-identical to per-row Predict for every worker count and for sizes
+// that are empty, smaller than a block, or straddle block boundaries.
+func TestPredictMatrixWorkerInvariance(t *testing.T) {
+	m := trainedFlatModel(t, 3, 9)
+	for _, n := range []int{0, 1, 63, 64, 65, 513} {
+		rows := diffRows(uint64(n)+9, n, m.Dim)
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			want[i] = m.Predict(rows[i*m.Dim : (i+1)*m.Dim])
+		}
+		for _, workers := range []int{0, 1, 2, 8} {
+			out := make([]float64, n)
+			m.PredictMatrix(rows, out, workers)
+			for i := range out {
+				if math.Float64bits(out[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("n=%d workers=%d row %d: matrix %v != per-row %v", n, workers, i, out[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAccumulateRawMatchesOracle: the trainer's score-update path must add
+// exactly what per-row tree walks add, in the same order.
+func TestAccumulateRawMatchesOracle(t *testing.T) {
+	m := trainedFlatModel(t, 5, 7)
+	const n = 130
+	rows := diffRows(17, n, m.Dim)
+	got := make([]float64, n)
+	want := make([]float64, n)
+	for i := range got {
+		got[i] = 0.25
+		want[i] = 0.25
+		row := rows[i*m.Dim : (i+1)*m.Dim]
+		for ti := range m.Trees {
+			want[i] += m.Trees[ti].predict(row)
+		}
+	}
+	m.Flat().AccumulateRaw(rows, got, 2)
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("row %d: accumulate %v != oracle %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestUncompiledFallback: a hand-assembled model that was never Compiled
+// must predict identically through the pointer-walk fallback paths.
+func TestUncompiledFallback(t *testing.T) {
+	compiled := trainedFlatModel(t, 11, 6)
+	plain := &Model{Dim: compiled.Dim, BaseScore: compiled.BaseScore, Trees: compiled.Trees}
+	if plain.Flat() != nil {
+		t.Fatal("copy unexpectedly compiled")
+	}
+	const n = 70
+	rows := diffRows(23, n, plain.Dim)
+	want := make([]float64, n)
+	compiled.PredictMatrix(rows, want, 2)
+	got := make([]float64, n)
+	plain.PredictMatrix(rows, got, 2)
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("row %d: fallback %v != compiled %v", i, got[i], want[i])
+		}
+	}
+	row := rows[:plain.Dim]
+	if g, w := plain.Predict(row), compiled.Predict(row); math.Float64bits(g) != math.Float64bits(w) {
+		t.Fatalf("per-row fallback %v != compiled %v", g, w)
+	}
+}
+
+// TestFlatSingleLeafTrees: trees that are a lone leaf compile to negative
+// root words and take the constant-add fast path in the block walks.
+func TestFlatSingleLeafTrees(t *testing.T) {
+	m := &Model{Dim: 3, BaseScore: -0.5, Trees: []Tree{
+		{Nodes: []node{{Feature: -1, Value: 0.75}}},
+		{Nodes: []node{
+			{Feature: 1, Threshold: 4, MissingLeft: true, Left: 1, Right: 2},
+			{Feature: -1, Value: -0.25}, {Feature: -1, Value: 0.125},
+		}},
+		{Nodes: []node{{Feature: -1, Value: -1.5}}},
+	}}
+	if err := m.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range [][]float64{{0, 0, 0}, {0, 9, 0}, {0, math.NaN(), 1}} {
+		got, want := m.RawPredict(row), m.nodeRawPredict(row)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("row %v: flat %v != oracle %v", row, got, want)
+		}
+	}
+	const n = 67
+	rows := diffRows(31, n, m.Dim)
+	out := make([]float64, n)
+	m.PredictMatrix(rows, out, 1)
+	for i := range out {
+		want := m.Predict(rows[i*m.Dim : (i+1)*m.Dim])
+		if math.Float64bits(out[i]) != math.Float64bits(want) {
+			t.Fatalf("row %d: matrix %v != per-row %v", i, out[i], want)
+		}
+	}
+	inout := make([]float64, n)
+	m.Flat().AccumulateRaw(rows, inout, 1)
+	for i := range inout {
+		want := 0.0
+		row := rows[i*m.Dim : (i+1)*m.Dim]
+		for ti := range m.Trees {
+			want += m.Trees[ti].predict(row)
+		}
+		if math.Float64bits(inout[i]) != math.Float64bits(want) {
+			t.Fatalf("row %d: accumulate %v != oracle %v", i, inout[i], want)
+		}
+	}
+}
+
+// TestCompileIdempotent: recompiling must be safe and change nothing.
+func TestCompileIdempotent(t *testing.T) {
+	m := trainedFlatModel(t, 13, 5)
+	row := diffRows(1, 1, m.Dim)
+	before := m.RawPredict(row)
+	if err := m.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if after := m.RawPredict(row); math.Float64bits(before) != math.Float64bits(after) {
+		t.Fatalf("recompile changed prediction: %v != %v", before, after)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 )
 
@@ -54,6 +55,17 @@ func FuzzModelLoad(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte("not a gob stream"))
+	// Structurally valid gob streams carrying non-finite numerics: these
+	// decode cleanly and must be rejected by flat-kernel compilation.
+	hostile := hostileSeeds(f)
+	names := make([]string, 0, len(hostile))
+	for name := range hostile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f.Add(hostile[name])
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Load(bytes.NewReader(data))
@@ -94,6 +106,33 @@ func FuzzModelLoad(f *testing.F) {
 	})
 }
 
+// hostileSeeds serializes models that gob decodes without error but that
+// flat compilation must reject: non-finite thresholds, leaf values, and
+// base scores. The ±Inf missing-direction encoding of the flat kernel is
+// only exact because these can never reach it (see compileFlat).
+func hostileSeeds(tb testing.TB) map[string][]byte {
+	leaf := func(v float64) []node { return []node{{Feature: -1, Value: v}} }
+	split := func(th float64) []node {
+		return []node{{Feature: 0, Threshold: th, Left: 1, Right: 2}, {Feature: -1}, {Feature: -1}}
+	}
+	models := map[string]*Model{
+		"seed-nan-threshold": {Dim: 4, Trees: []Tree{{Nodes: split(math.NaN())}}},
+		"seed-inf-threshold": {Dim: 4, Trees: []Tree{{Nodes: split(math.Inf(1))}}},
+		"seed-nan-leaf":      {Dim: 4, Trees: []Tree{{Nodes: leaf(math.NaN())}}},
+		"seed-neginf-leaf":   {Dim: 4, Trees: []Tree{{Nodes: leaf(math.Inf(-1))}}},
+		"seed-nan-base":      {Dim: 4, BaseScore: math.NaN(), Trees: []Tree{{Nodes: leaf(0.5)}}},
+	}
+	out := make(map[string][]byte, len(models))
+	for name, m := range models {
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			tb.Fatal(err)
+		}
+		out[name] = buf.Bytes()
+	}
+	return out
+}
+
 // TestRegenerateFuzzCorpus rewrites the committed seed corpus under
 // testdata/fuzz when LFO_REGEN_CORPUS=1 is set; otherwise it is a no-op.
 // The committed files mirror the in-code f.Add seeds so `go test` (and
@@ -115,6 +154,9 @@ func TestRegenerateFuzzCorpus(t *testing.T) {
 		"seed-bitflip":      flipped,
 		"seed-not-gob":      []byte("not a gob stream"),
 		"seed-empty-stream": {},
+	}
+	for name, data := range hostileSeeds(t) {
+		seeds[name] = data
 	}
 	dir := filepath.Join("testdata", "fuzz", "FuzzModelLoad")
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -149,6 +191,22 @@ func TestLoadRejectsHostileModels(t *testing.T) {
 		{"backward cycle", Model{Dim: 4, Trees: []Tree{{Nodes: []node{
 			{Feature: 0, Left: 1, Right: 2}, {Feature: -1}, {Feature: 1, Left: 0, Right: 1},
 		}}}}},
+		{"NaN threshold", Model{Dim: 4, Trees: []Tree{{Nodes: []node{
+			{Feature: 0, Threshold: math.NaN(), Left: 1, Right: 2}, {Feature: -1}, {Feature: -1},
+		}}}}},
+		{"+Inf threshold", Model{Dim: 4, Trees: []Tree{{Nodes: []node{
+			{Feature: 0, Threshold: math.Inf(1), Left: 1, Right: 2}, {Feature: -1}, {Feature: -1},
+		}}}}},
+		{"NaN leaf value", Model{Dim: 4, Trees: []Tree{{Nodes: []node{
+			{Feature: -1, Value: math.NaN()},
+		}}}}},
+		{"-Inf leaf value", Model{Dim: 4, Trees: []Tree{{Nodes: []node{
+			{Feature: -1, Value: math.Inf(-1)},
+		}}}}},
+		{"NaN base score", Model{Dim: 4, BaseScore: math.NaN(), Trees: []Tree{{Nodes: []node{
+			{Feature: -1, Value: 0.5},
+		}}}}},
+		{"invalid dim", Model{Dim: 0}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -18,15 +18,48 @@ type Model struct {
 	BaseScore float64
 	// Trees are the boosted stages in training order.
 	Trees []Tree
+
+	// flat is the compiled inference kernel. It is unexported so gob
+	// round-trips see only the tree structure; Load rebuilds it. A nil
+	// flat (hand-assembled model without Compile) falls back to the
+	// pointer walk.
+	flat *Flat
 }
+
+// Compile builds the flattened inference kernel that every predict path
+// uses, validating the model the same way Load does. Train and Load call
+// it automatically; call it manually only on hand-assembled models. The
+// tree structure must not be mutated after Compile.
+func (m *Model) Compile() error {
+	f, err := compileFlat(m.Dim, m.BaseScore, m.Trees)
+	if err != nil {
+		return err
+	}
+	m.flat = f
+	return nil
+}
+
+// Flat returns the compiled kernel, or nil if the model was never
+// Compiled.
+func (m *Model) Flat() *Flat { return m.flat }
 
 // RawPredict returns the unsquashed margin for one feature row.
 //
 //lfo:hotpath
 func (m *Model) RawPredict(row []float64) float64 {
-	if len(row) != m.Dim {
-		panic(fmt.Sprintf("gbdt: row dim %d != model dim %d", len(row), m.Dim))
+	if m.flat != nil {
+		return m.flat.RawPredict(row)
 	}
+	mustRowDim(len(row), m.Dim)
+	return m.nodeRawPredict(row)
+}
+
+// nodeRawPredict is the pointer-chasing walk over the Trees structs — the
+// differential-test oracle for the flat kernel and the fallback for
+// models that were never Compiled.
+//
+//lfo:hotpath
+func (m *Model) nodeRawPredict(row []float64) float64 {
 	s := m.BaseScore
 	for i := range m.Trees {
 		s += m.Trees[i].predict(row)
@@ -43,22 +76,42 @@ func (m *Model) Predict(row []float64) float64 {
 
 // PredictBatch fills out[i] with the positive-class probability of rows[i],
 // using up to workers goroutines (0 = all available cores, 1 = inline).
-// rows is a flat row-major matrix of n rows; out must have length n. Rows
-// are scored independently, so the output is byte-identical for any
-// worker count.
+// rows is a flat row-major matrix of n rows; out must have length n. It is
+// PredictMatrix under its historical name.
 //
 //lfo:hotpath
 func (m *Model) PredictBatch(rows []float64, out []float64, workers int) {
-	n := len(out)
-	if len(rows) != n*m.Dim {
-		panic(fmt.Sprintf("gbdt: rows length %d != %d rows × dim %d", len(rows), n, m.Dim))
+	m.PredictMatrix(rows, out, workers)
+}
+
+// PredictMatrix fills out[i] with the positive-class probability of row i
+// of the flat row-major matrix rows, scoring blocks of rows through the
+// compiled kernel (see Flat.PredictMatrix). Rows are scored independently
+// and accumulation order per row is fixed, so the output is byte-identical
+// for any worker count and identical to per-row Predict calls. Models
+// never Compiled fall back to per-row pointer walks.
+//
+//lfo:hotpath
+func (m *Model) PredictMatrix(rows []float64, out []float64, workers int) {
+	if f := m.flat; f != nil {
+		f.PredictMatrix(rows, out, workers)
+		return
 	}
-	//lfolint:ignore hotpath-alloc one closure per batch call, amortized over the whole row matrix
-	par.Ranges(n, workers, 64, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = m.Predict(rows[i*m.Dim : (i+1)*m.Dim])
-		}
-	})
+	mustMatrixDims(len(rows), len(out), m.Dim)
+	par.RangesArg(len(out), workers, matrixBlock, nodeMatrixArgs{m, rows, out}, nodeScoreRange)
+}
+
+// nodeMatrixArgs mirrors matrixArgs for the uncompiled fallback path.
+type nodeMatrixArgs struct {
+	m         *Model
+	rows, out []float64
+}
+
+func nodeScoreRange(a nodeMatrixArgs, lo, hi int) {
+	dim := a.m.Dim
+	for i := lo; i < hi; i++ {
+		a.out[i] = sigmoid(a.m.nodeRawPredict(a.rows[i*dim : (i+1)*dim]))
+	}
 }
 
 // NumTrees returns the number of boosted stages.
@@ -98,38 +151,20 @@ func (m *Model) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(m)
 }
 
-// Load deserializes a model written by Save. The decoded structure is
-// validated so a corrupted or hostile stream cannot yield a model whose
-// predict walk panics or loops: every split feature must be within Dim,
-// and child indices must point past their parent (the shape the trainer
-// emits — children are always appended after the node that split), which
-// makes every walk strictly increasing and therefore terminating.
+// Load deserializes a model written by Save and compiles the flat
+// inference kernel. Compilation doubles as validation, so a corrupted or
+// hostile stream cannot yield a model whose predict walk panics, loops,
+// or launders non-finite values into scores: every split feature must be
+// within Dim, child indices must point past their parent (the shape the
+// trainer emits — children are always appended after the node that
+// split), and thresholds, leaf values, and the base score must be finite.
 func Load(r io.Reader) (*Model, error) {
 	var m Model
 	if err := gob.NewDecoder(r).Decode(&m); err != nil {
 		return nil, fmt.Errorf("gbdt: load model: %w", err)
 	}
-	if m.Dim <= 0 {
-		return nil, fmt.Errorf("gbdt: loaded model has invalid dim %d", m.Dim)
-	}
-	for ti := range m.Trees {
-		t := &m.Trees[ti]
-		if len(t.Nodes) == 0 {
-			return nil, fmt.Errorf("gbdt: loaded model tree %d has no nodes", ti)
-		}
-		for i := range t.Nodes {
-			n := &t.Nodes[i]
-			if n.Feature < 0 {
-				continue // leaf
-			}
-			if int(n.Feature) >= m.Dim {
-				return nil, fmt.Errorf("gbdt: loaded model tree %d node %d splits feature %d, dim %d", ti, i, n.Feature, m.Dim)
-			}
-			if n.Left <= int32(i) || int(n.Left) >= len(t.Nodes) ||
-				n.Right <= int32(i) || int(n.Right) >= len(t.Nodes) {
-				return nil, fmt.Errorf("gbdt: loaded model tree %d node %d has out-of-order children (%d, %d)", ti, i, n.Left, n.Right)
-			}
-		}
+	if err := m.Compile(); err != nil {
+		return nil, fmt.Errorf("gbdt: load model: %w", err)
 	}
 	return &m, nil
 }

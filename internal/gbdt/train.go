@@ -79,13 +79,21 @@ func Train(d *Dataset, p Params) (*Model, error) {
 			continue
 		}
 		m.Trees = append(m.Trees, *tree)
-		// Update raw scores with the new tree: per-row writes are
-		// disjoint, so the fan-out is order-independent.
-		par.Ranges(n, t.workers, 2048, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				t.scores[i] += tree.predict(d.Row(i))
-			}
-		})
+		// Update raw scores with the new tree through the flat kernel —
+		// the same batched walk serving uses. Per-row writes are disjoint
+		// and the single tree adds exactly one leaf value per row, so the
+		// scores are bit-identical to per-row tree.predict calls for any
+		// worker count. Trainer output always compiles: thresholds come
+		// from finite bin edges and leaf values from hessian-guarded
+		// ratios.
+		ft, err := compileFlat(d.Dim(), 0, m.Trees[len(m.Trees)-1:])
+		if err != nil {
+			return nil, fmt.Errorf("gbdt: compiling tree %d: %w", len(m.Trees)-1, err)
+		}
+		ft.AccumulateRaw(d.x, t.scores, t.workers)
+	}
+	if err := m.Compile(); err != nil {
+		return nil, fmt.Errorf("gbdt: compiling model: %w", err)
 	}
 	return m, nil
 }

@@ -423,7 +423,7 @@ func (s *Server) handle(conn net.Conn) {
 			s.m.predictRows.Add(int64(len(rows) / features.Dim))
 			probs = make([]float64, len(rows)/features.Dim)
 			sc := obs.Start(s.m.predictNS)
-			m.PredictBatch(rows, probs, s.workers)
+			m.PredictMatrix(rows, probs, s.workers)
 			sc.Stop()
 		case len(payload) > 0 && payload[0] == opAdmit:
 			reqs, derr := decodeAdmitRequest(payload)

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # bench.sh — record the hot-path benchmark suite as a JSON artifact.
 #
-# Runs the five hot-path micro-benchmarks (GBDT train/predict, feature
-# tracking, simulator, LFO cache request) with -benchmem at GOMAXPROCS 1
-# and 4, and writes BENCH_<date>.json with ns/op, B/op, and allocs/op per
-# benchmark. The JSON is the comparable record: commit it alongside perf
-# changes so regressions show up in review.
+# Runs the hot-path micro-benchmarks (GBDT train/predict, the flat
+# inference kernels and their batch-major walk, feature tracking,
+# simulator, LFO cache request) with -benchmem at GOMAXPROCS 1 and 4, and
+# writes BENCH_<date>.json with ns/op, B/op, and allocs/op per benchmark.
+# The JSON is the comparable record: commit it alongside perf changes so
+# regressions show up in review.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh    # override -benchtime (default 1s)
@@ -17,10 +18,10 @@ benchtime=${BENCHTIME:-1s}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-bench='^(BenchmarkGBDTTrain|BenchmarkGBDTPredict|BenchmarkFeatureTracking|BenchmarkSimulatorRun|BenchmarkLFOCacheRequest|BenchmarkOPTCompute)$'
+bench='^(BenchmarkGBDTTrain|BenchmarkGBDTPredict|BenchmarkFeatureTracking|BenchmarkSimulatorRun|BenchmarkLFOCacheRequest|BenchmarkOPTCompute|BenchmarkFlatPredict|BenchmarkNodePredict|BenchmarkPredictBatch|BenchmarkPredictMatrix)$'
 
 echo "== go test -bench (this takes a few minutes)"
-go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" -cpu 1,4 . | tee "$raw"
+go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" -cpu 1,4 . ./internal/gbdt | tee "$raw"
 
 awk -v date="$(date +%Y-%m-%d)" -v cpus="$(nproc)" -v benchtime="$benchtime" '
 BEGIN { n = 0 }

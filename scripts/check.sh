@@ -78,7 +78,7 @@ fi
 
 step "alloc budgets"
 go test -run '^$' \
-    -bench '^(BenchmarkPredict|BenchmarkPredictBatch|BenchmarkRunRequestLoop|BenchmarkRequestObs)$' \
+    -bench '^(BenchmarkPredict|BenchmarkFlatPredict|BenchmarkPredictBatch|BenchmarkPredictMatrix|BenchmarkRunRequestLoop|BenchmarkRequestObs)$' \
     -benchmem -benchtime 200x ./internal/gbdt ./internal/sim ./internal/obs \
     | awk -v budgets=testdata/alloc_budgets.txt -f scripts/allocgate.awk
 
