@@ -477,6 +477,38 @@ func BenchmarkPredictionServerRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictionServerSingleRow is the fleet baseline: one row per
+// round trip over the classic synchronous client, the pattern a frontend
+// uses without the batching router. Compare against
+// BenchmarkRouterEnqueueFlush (internal/fleet) and the lfoload sync vs
+// router modes for the pipelining win.
+func BenchmarkPredictionServerSingleRow(b *testing.B) {
+	tr := benchTrace(b, 10000)
+	model, err := TrainWindowModel(tr, CacheConfig{CacheSize: 16 << 20, WindowSize: tr.Len()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewPredictionServer(model, 0)
+	srv.Logf = b.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialPrediction(addr.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	row := make([]float64, features.Dim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Predict(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkRobustnessScans(b *testing.B) {
 	cfg := benchCfg()
 	cfg.Requests = 20000

@@ -1,0 +1,246 @@
+// Command lfoload is the saturation load harness for a prediction fleet:
+// M concurrent clients drive admission batches at one or more predserve
+// shards and report throughput (rows/sec) and batch latency quantiles
+// (p50/p99) as JSON. It exists to answer the deployment question behind
+// the paper's Fig 7 — how many admission decisions per second one fleet
+// sustains — and to put numbers on the pipelined router against the
+// classic synchronous client.
+//
+// Usage:
+//
+//	lfoload -addrs 127.0.0.1:7070 -mode sync -clients 4 -rows 20000
+//	lfoload -addrs 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072 \
+//	        -mode router -clients 4 -rows 200000
+//
+// Modes:
+//
+//	router — each client runs a fleet.Router over all shards: per-shard
+//	         batches, pipelined over multiplexed connections.
+//	sync   — each client runs a classic server.Client against one shard
+//	         (round-robin), one row per round trip: the baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"lfo/internal/fleet"
+	"lfo/internal/obs"
+	"lfo/internal/server"
+)
+
+func main() {
+	var (
+		addrs      = flag.String("addrs", "127.0.0.1:7070", "comma-separated shard addresses")
+		mode       = flag.String("mode", "router", "router (pipelined fleet) or sync (classic client baseline)")
+		clients    = flag.Int("clients", 4, "concurrent load clients")
+		rows       = flag.Int("rows", 20000, "admission rows per client")
+		batch      = flag.Int("batch", fleet.DefaultBatch, "router batch size")
+		inflight   = flag.Int("inflight", fleet.DefaultMaxInFlight, "router pipeline window")
+		probeEvery = flag.Int("probe-every", fleet.DefaultProbeEvery, "router reconnect probe interval (fallback rows)")
+		idSpace    = flag.Int("ids", 5000, "distinct object IDs per client (repeats exercise trackers)")
+		seed       = flag.Int64("seed", 1, "load stream seed")
+	)
+	flag.Parse()
+	cfg := loadConfig{
+		addrs:      strings.Split(*addrs, ","),
+		mode:       *mode,
+		clients:    *clients,
+		rows:       *rows,
+		batch:      *batch,
+		inflight:   *inflight,
+		probeEvery: *probeEvery,
+		idSpace:    *idSpace,
+		seed:       *seed,
+	}
+	if err := runLoad(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "lfoload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfig carries the flags into runLoad; split from main so tests
+// can run the exact harness the flags produce.
+type loadConfig struct {
+	addrs      []string
+	mode       string
+	clients    int
+	rows       int
+	batch      int
+	inflight   int
+	probeEvery int
+	idSpace    int
+	seed       int64
+}
+
+// loadResult is the harness's JSON report. Latencies are per burst in
+// router mode (one pipeline window of batches) and per row in sync mode.
+type loadResult struct {
+	Mode       string  `json:"mode"`
+	Shards     int     `json:"shards"`
+	Clients    int     `json:"clients"`
+	Batch      int     `json:"batch"`
+	Inflight   int     `json:"inflight"`
+	Rows       int     `json:"rows_total"`
+	ElapsedNs  int64   `json:"elapsed_ns"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	P50Us      int64   `json:"p50_us"`
+	P99Us      int64   `json:"p99_us"`
+	Failovers  int64   `json:"failovers_total"`
+	Fallbacks  int64   `json:"fallback_rows_total"`
+}
+
+// latencyBounds are the histogram buckets in microseconds: geometric
+// 1-2-5 decades from 1µs to 10s, fine enough for interpolated p50/p99.
+var latencyBounds = []int64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000,
+	1000000, 2000000, 5000000, 10000000,
+}
+
+// runLoad drives the configured load and writes one JSON result line.
+func runLoad(cfg loadConfig, w io.Writer) error {
+	if len(cfg.addrs) == 0 || cfg.clients < 1 || cfg.rows < 1 {
+		return fmt.Errorf("need at least one shard address, one client and one row")
+	}
+	switch cfg.mode {
+	case "router", "sync":
+	default:
+		return fmt.Errorf("unknown -mode %q (want router or sync)", cfg.mode)
+	}
+
+	reg := obs.NewRegistry()
+	lat := reg.Histogram("lfoload_latency_us", latencyBounds)
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.clients)
+	start := time.Now()
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if cfg.mode == "router" {
+				errs[c] = routerClient(cfg, c, reg, lat)
+			} else {
+				errs[c] = syncClient(cfg, c, lat)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for c, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d: %w", c, err)
+		}
+	}
+
+	total := cfg.clients * cfg.rows
+	res := loadResult{
+		Mode:       cfg.mode,
+		Shards:     len(cfg.addrs),
+		Clients:    cfg.clients,
+		Batch:      cfg.batch,
+		Inflight:   cfg.inflight,
+		Rows:       total,
+		ElapsedNs:  elapsed.Nanoseconds(),
+		RowsPerSec: float64(total) / elapsed.Seconds(),
+		P50Us:      lat.Quantile(0.50),
+		P99Us:      lat.Quantile(0.99),
+	}
+	for _, c := range reg.Snapshot().Counters {
+		switch {
+		case strings.HasSuffix(c.Name, "_failovers_total"):
+			res.Failovers += c.Value
+		case strings.HasSuffix(c.Name, "_fallback_rows_total"):
+			res.Fallbacks += c.Value
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(res)
+}
+
+// fillReqs regenerates the client's deterministic admit burst in place.
+func fillReqs(rng *rand.Rand, reqs []server.AdmitRequest, idSpace int, now *int64) {
+	for i := range reqs {
+		reqs[i] = server.AdmitRequest{
+			Time: *now,
+			ID:   rng.Uint64() % uint64(idSpace),
+			Size: 1 + rng.Int63n(1<<20),
+			Cost: 1,
+			Free: 1 << 30,
+		}
+		*now++
+	}
+}
+
+// routerClient drives one fleet.Router: bursts of a full pipeline window
+// are enqueued and flushed, and each burst's wall time lands in the
+// latency histogram.
+func routerClient(cfg loadConfig, id int, reg *obs.Registry, lat *obs.Histogram) error {
+	r, err := fleet.NewRouter(fleet.Config{
+		Addrs:       cfg.addrs,
+		Batch:       cfg.batch,
+		MaxInFlight: cfg.inflight,
+		ProbeEvery:  cfg.probeEvery,
+		Obs:         reg.Prefixed(fmt.Sprintf("client%d_", id)),
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	burst := cfg.batch * cfg.inflight
+	if burst > cfg.rows {
+		burst = cfg.rows
+	}
+	reqs := make([]server.AdmitRequest, burst)
+	probs := make([]float64, burst)
+	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
+	now := int64(0)
+	for done := 0; done < cfg.rows; {
+		n := burst
+		if cfg.rows-done < n {
+			n = cfg.rows - done
+		}
+		fillReqs(rng, reqs[:n], cfg.idSpace, &now)
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			r.Enqueue(reqs[i], &probs[i])
+		}
+		r.Flush()
+		lat.Observe(time.Since(t0).Microseconds())
+		done += n
+	}
+	return nil
+}
+
+// syncClient drives one classic synchronous client against a single
+// shard, one row per round trip — the pre-fleet baseline the router is
+// measured against.
+func syncClient(cfg loadConfig, id int, lat *obs.Histogram) error {
+	c, err := server.Dial(cfg.addrs[id%len(cfg.addrs)])
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	req := make([]server.AdmitRequest, 1)
+	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
+	now := int64(0)
+	for done := 0; done < cfg.rows; done++ {
+		fillReqs(rng, req, cfg.idSpace, &now)
+		t0 := time.Now()
+		if _, err := c.Admit(req); err != nil {
+			return err
+		}
+		lat.Observe(time.Since(t0).Microseconds())
+	}
+	return nil
+}

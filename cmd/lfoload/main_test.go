@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"lfo/internal/features"
+	"lfo/internal/gbdt"
+	"lfo/internal/server"
+)
+
+func testModel(t *testing.T) *gbdt.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ds := gbdt.NewDataset(features.Dim)
+	row := make([]float64, features.Dim)
+	for i := 0; i < 2000; i++ {
+		for j := range row {
+			row[j] = rng.Float64() * 100
+		}
+		label := 0.0
+		if row[features.FeatSize] > 50 {
+			label = 1
+		}
+		ds.Append(row, label)
+	}
+	p := gbdt.DefaultParams()
+	p.NumIterations = 10
+	m, err := gbdt.Train(ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func startShards(t *testing.T, n int) []string {
+	t.Helper()
+	m := testModel(t)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		s := server.New(m, 2)
+		addr, err := s.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = s.Close() })
+		addrs[i] = addr.String()
+	}
+	return addrs
+}
+
+func runAndDecode(t *testing.T, cfg loadConfig) loadResult {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := runLoad(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var res loadResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("bad JSON %q: %v", buf.String(), err)
+	}
+	return res
+}
+
+func TestRunLoadRouterMode(t *testing.T) {
+	addrs := startShards(t, 3)
+	res := runAndDecode(t, loadConfig{
+		addrs: addrs, mode: "router",
+		clients: 2, rows: 2000, batch: 32, inflight: 2,
+		probeEvery: 32, idSpace: 500, seed: 7,
+	})
+	if res.Rows != 4000 {
+		t.Errorf("rows_total = %d, want 4000", res.Rows)
+	}
+	if res.Shards != 3 || res.Mode != "router" {
+		t.Errorf("mode/shards = %s/%d", res.Mode, res.Shards)
+	}
+	if res.RowsPerSec <= 0 || res.ElapsedNs <= 0 {
+		t.Errorf("throughput not measured: %+v", res)
+	}
+	if res.P50Us <= 0 || res.P99Us < res.P50Us {
+		t.Errorf("quantiles p50=%d p99=%d", res.P50Us, res.P99Us)
+	}
+	if res.Failovers != 0 || res.Fallbacks != 0 {
+		t.Errorf("healthy fleet reports failovers=%d fallbacks=%d", res.Failovers, res.Fallbacks)
+	}
+}
+
+func TestRunLoadSyncMode(t *testing.T) {
+	addrs := startShards(t, 1)
+	res := runAndDecode(t, loadConfig{
+		addrs: addrs, mode: "sync",
+		clients: 2, rows: 300, batch: 64, inflight: 4,
+		probeEvery: 32, idSpace: 100, seed: 7,
+	})
+	if res.Rows != 600 || res.Mode != "sync" {
+		t.Errorf("rows/mode = %d/%s", res.Rows, res.Mode)
+	}
+	if res.RowsPerSec <= 0 || res.P50Us <= 0 {
+		t.Errorf("throughput not measured: %+v", res)
+	}
+}
+
+func TestRunLoadRejectsBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runLoad(loadConfig{mode: "router"}, &buf); err == nil {
+		t.Error("empty config accepted")
+	}
+	if err := runLoad(loadConfig{addrs: []string{"x"}, mode: "nope", clients: 1, rows: 1}, &buf); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

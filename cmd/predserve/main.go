@@ -42,6 +42,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "generator seed")
 		sizeStr    = flag.String("size", "64m", "cache size used for OPT labels")
 		workers    = flag.Int("workers", 0, "prediction parallelism per request batch (0 = serial)")
+		shardID    = flag.Int("shard-id", -1, "fleet shard index: tags log lines with shard=<id> and metric names with shard<id>_ (negative = standalone)")
 		maxTracked = flag.Int("max-tracked", 0, "per-connection admit tracker bound in objects (0 = default 1<<22, negative = unbounded)")
 		saveModel  = flag.String("save-model", "", "after training, save the model here")
 
@@ -73,6 +74,7 @@ func main() {
 
 	cfg := serveConfig{
 		workers:      *workers,
+		shardID:      *shardID,
 		maxTracked:   *maxTracked,
 		readTimeout:  *readTimeout,
 		writeTimeout: *writeTimeout,
@@ -89,7 +91,11 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("predserve: %d trees, listening on %s\n", model.NumTrees(), bound)
+	if *shardID >= 0 {
+		fmt.Printf("predserve: shard=%d %d trees, listening on %s\n", *shardID, model.NumTrees(), bound)
+	} else {
+		fmt.Printf("predserve: %d trees, listening on %s\n", model.NumTrees(), bound)
+	}
 	if dbg != nil {
 		fmt.Printf("predserve: debug endpoints on http://%s/metrics\n", dbg.addr)
 		defer func() {
@@ -116,7 +122,12 @@ type debugListener struct {
 // values defer to the server package's safe defaults (negative disables
 // a knob, matching the flag help text).
 type serveConfig struct {
-	workers      int
+	workers int
+	// shardID tags this process as one member of a fleet (see
+	// internal/fleet): log lines gain shard=<id> and metric names the
+	// shard<id>_ prefix, so one aggregation pipeline can tell the
+	// shards apart. Negative means standalone (no tagging).
+	shardID      int
 	maxTracked   int
 	readTimeout  time.Duration
 	writeTimeout time.Duration
@@ -127,16 +138,21 @@ type serveConfig struct {
 }
 
 // degradeLine renders a degradation event as one structured key=value
-// log line, stable enough to grep or ship to a log pipeline.
-func degradeLine(ev server.DegradeEvent) string {
+// log line, stable enough to grep or ship to a log pipeline. A
+// non-negative shardID adds a shard=<id> key.
+func degradeLine(ev server.DegradeEvent, shardID int) string {
 	remote := ev.Remote
 	if remote == "" {
 		remote = "-"
 	}
-	if ev.Err != nil {
-		return fmt.Sprintf("predserve: degrade kind=%s remote=%s err=%q", ev.Kind, remote, ev.Err)
+	shard := ""
+	if shardID >= 0 {
+		shard = fmt.Sprintf(" shard=%d", shardID)
 	}
-	return fmt.Sprintf("predserve: degrade kind=%s remote=%s", ev.Kind, remote)
+	if ev.Err != nil {
+		return fmt.Sprintf("predserve: degrade%s kind=%s remote=%s err=%q", shard, ev.Kind, remote, ev.Err)
+	}
+	return fmt.Sprintf("predserve: degrade%s kind=%s remote=%s", shard, ev.Kind, remote)
 }
 
 // buildServer assembles the prediction server and, when debugAddr is
@@ -152,13 +168,19 @@ func buildServer(model *gbdt.Model, cfg serveConfig, debugAddr string) (*server.
 	srv.MaxConns = cfg.maxConns
 	if cfg.degradeLog != nil {
 		sink := cfg.degradeLog
-		srv.OnDegrade = func(ev server.DegradeEvent) { sink(degradeLine(ev)) }
+		shardID := cfg.shardID
+		srv.OnDegrade = func(ev server.DegradeEvent) { sink(degradeLine(ev, shardID)) }
 	}
 	if debugAddr == "" {
 		return srv, nil, nil
 	}
 	reg := obs.NewRegistry()
 	srv.Obs = reg
+	if cfg.shardID >= 0 {
+		// The server records under shard<id>_-prefixed names; the debug
+		// listener snapshots the shared root, so /metrics shows them.
+		srv.Obs = reg.Prefixed(fmt.Sprintf("shard%d_", cfg.shardID))
+	}
 	addr, stop, err := obs.ServeDebug(debugAddr, reg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("debug listener: %w", err)

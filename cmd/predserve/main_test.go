@@ -20,7 +20,7 @@ import (
 // round-trip.
 func TestDebugAddrServesLiveCounts(t *testing.T) {
 	model := &gbdt.Model{Dim: features.Dim, BaseScore: 1}
-	srv, dbg, err := buildServer(model, serveConfig{workers: 1}, "127.0.0.1:0")
+	srv, dbg, err := buildServer(model, serveConfig{workers: 1, shardID: -1}, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestDebugAddrServesLiveCounts(t *testing.T) {
 // no listener.
 func TestBuildServerWithoutDebugAddr(t *testing.T) {
 	model := &gbdt.Model{Dim: features.Dim}
-	srv, dbg, err := buildServer(model, serveConfig{workers: 1, maxTracked: 7}, "")
+	srv, dbg, err := buildServer(model, serveConfig{workers: 1, shardID: -1, maxTracked: 7}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,6 +120,7 @@ func TestServingFlagsReachServer(t *testing.T) {
 	var lines []string
 	cfg := serveConfig{
 		workers:      1,
+		shardID:      -1,
 		readTimeout:  3 * time.Second,
 		writeTimeout: 4 * time.Second,
 		drainTimeout: 5 * time.Second,
@@ -152,5 +153,60 @@ func TestServingFlagsReachServer(t *testing.T) {
 		if lines[i] != want[i] {
 			t.Errorf("degrade line %d = %q, want %q", i, lines[i], want[i])
 		}
+	}
+}
+
+// TestShardIDTagsLogsAndMetrics: -shard-id must show up as a shard= key
+// in degrade lines and as a shard<id>_ prefix on every metric the server
+// records, so a fleet's shards stay distinguishable in one pipeline.
+func TestShardIDTagsLogsAndMetrics(t *testing.T) {
+	var lines []string
+	cfg := serveConfig{
+		workers:    1,
+		shardID:    2,
+		degradeLog: func(line string) { lines = append(lines, line) },
+	}
+	model := &gbdt.Model{Dim: features.Dim, BaseScore: 1}
+	srv, dbg, err := buildServer(model, cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := dbg.stop(); err != nil {
+			t.Errorf("debug stop: %v", err)
+		}
+	})
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	c, err := server.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Predict(make([]float64, features.Dim)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + dbg.addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "shard2_server_predict_requests_total 1\n") {
+		t.Errorf("/metrics missing shard-prefixed counter; got:\n%s", body)
+	}
+
+	srv.OnDegrade(server.DegradeEvent{Kind: "conn_limit"})
+	if want := "predserve: degrade shard=2 kind=conn_limit remote=-"; len(lines) != 1 || lines[0] != want {
+		t.Errorf("degrade lines = %q, want [%q]", lines, want)
 	}
 }

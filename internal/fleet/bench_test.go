@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"lfo/internal/server"
+)
+
+// stubConn is a synchronous in-memory shard: every mux admit frame
+// written to it immediately queues the matching mux response (echoed
+// correlation ID, 0.5 per row) for the next Read. It works because the
+// Router is single-goroutine — a response can never be needed before its
+// request was written — and it keeps the enqueue/flush benchmark free of
+// a real server's allocations, which would pollute the 0 allocs/op pin.
+type stubConn struct {
+	out  []byte
+	head int
+}
+
+// Wire constants mirrored from internal/server's unexported opcodes.
+const (
+	stubOpPredict = 1
+	stubOpAdmit   = 2
+	stubOpMux     = 3
+)
+
+func (c *stubConn) Write(p []byte) (int, error) {
+	// One complete mux admit frame per Write (the router's contract):
+	// u32 len | opMux | u64 corrID | opAdmit | u32 rows | tuples.
+	if len(p) < 18 || p[4] != stubOpMux || p[13] != stubOpAdmit {
+		return 0, fmt.Errorf("stub: unexpected frame")
+	}
+	id := binary.LittleEndian.Uint64(p[5:13])
+	n := int(binary.LittleEndian.Uint32(p[14:18]))
+	if c.head > 0 {
+		// Compact: with a pipeline window the buffer never fully
+		// drains, so shift the unread tail down instead of growing.
+		rest := copy(c.out, c.out[c.head:])
+		c.out = c.out[:rest]
+		c.head = 0
+	}
+	payload := 9 + 5 + 8*n
+	start := len(c.out)
+	c.out = append(c.out, make([]byte, 4+payload)...)
+	b := c.out[start:]
+	binary.LittleEndian.PutUint32(b, uint32(payload))
+	b[4] = stubOpMux
+	binary.LittleEndian.PutUint64(b[5:], id)
+	b[13] = stubOpPredict
+	binary.LittleEndian.PutUint32(b[14:], uint32(n))
+	half := math.Float64bits(0.5)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(b[18+8*i:], half)
+	}
+	return len(p), nil
+}
+
+func (c *stubConn) Read(p []byte) (int, error) {
+	if c.head == len(c.out) {
+		return 0, io.EOF // the router never reads more than it wrote
+	}
+	n := copy(p, c.out[c.head:])
+	c.head += n
+	return n, nil
+}
+
+func (c *stubConn) Close() error                     { return nil }
+func (c *stubConn) LocalAddr() net.Addr              { return nil }
+func (c *stubConn) RemoteAddr() net.Addr             { return nil }
+func (c *stubConn) SetDeadline(time.Time) error      { return nil }
+func (c *stubConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *stubConn) SetWriteDeadline(time.Time) error { return nil }
+
+// BenchmarkRouterEnqueueFlush pins the admission hot path — ring lookup,
+// slab write, batch framing, pipelined read, fan-back, censor observe —
+// at 0 allocs/op in steady state (testdata/alloc_budgets.txt). Object
+// IDs recycle within a bounded set so the censor's generations stop
+// growing after warmup, exactly like a production stream with repeats.
+func BenchmarkRouterEnqueueFlush(b *testing.B) {
+	r, err := NewRouter(Config{
+		Addrs: []string{"stub"},
+		Batch: 64, MaxInFlight: 4,
+		Dial: func(string) (net.Conn, error) { return &stubConn{}, nil },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+
+	var dst [64]float64
+	req := server.AdmitRequest{Size: 1000, Cost: 1, Free: 1 << 30}
+	for i := 0; i < 8192; i++ { // warm slabs, buffers, censor generations
+		req.ID = uint64(i % 1024)
+		req.Time = int64(i)
+		r.Enqueue(req, &dst[i%64])
+	}
+	r.Flush()
+
+	b.ReportAllocs()
+	b.SetBytes(40) // one wire tuple per op
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.ID = uint64(i % 1024)
+		req.Time = int64(i)
+		r.Enqueue(req, &dst[i%64])
+	}
+	b.StopTimer()
+	r.Flush()
+}

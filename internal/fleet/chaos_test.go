@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lfo/internal/features"
+	"lfo/internal/gbdt"
+	"lfo/internal/obs"
+)
+
+// counterValue pulls one counter out of a registry snapshot.
+func counterValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// chaosOutcome is everything one chaos run produces: the admission
+// decision log (one byte per row, '1' = admit at cutoff 0.5, in input
+// order) and the per-shard failover counts.
+type chaosOutcome struct {
+	log       []byte
+	failovers []int64
+	served    []int64
+	fallbacks []int64
+	up        []bool
+}
+
+// runChaos drives a fixed request stream against a 3-shard fleet while
+// killing and restarting shards at fixed stream positions (always at
+// flush boundaries, so a kill is a clean quiescent-point crash). Every
+// row must complete — the admission path has no caller-visible errors by
+// construction — and the whole outcome must be a pure function of the
+// seed and the kill schedule.
+func runChaos(t *testing.T, m *gbdt.Model, seed int64) chaosOutcome {
+	t.Helper()
+	h := newHarness(t, 3, m)
+	reg := obs.NewRegistry()
+	r, err := NewRouter(Config{
+		Addrs: h.names(), Dial: h.dial,
+		Batch: 8, MaxInFlight: 2, ProbeEvery: 4,
+		Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	now := int64(0)
+	var log []byte
+	phase := func(rows int) {
+		reqs := randReqs(rng, rows, now)
+		now += int64(rows)
+		probs := make([]float64, rows)
+		for i := range probs {
+			probs[i] = math.NaN()
+		}
+		for i := range reqs {
+			r.Enqueue(reqs[i], &probs[i])
+		}
+		r.Flush()
+		for i, p := range probs {
+			if math.IsNaN(p) {
+				t.Fatalf("row %d of the phase never completed", i)
+			}
+			if p >= 0.5 {
+				log = append(log, '1')
+			} else {
+				log = append(log, '0')
+			}
+		}
+	}
+
+	phase(400)      // healthy fleet
+	h.kill(1)       // crash shard 1 at a quiescent point
+	phase(400)      // shard 1's range degrades to its censor
+	h.restart(1, m) // bring it back on a fresh listener
+	phase(600)      // probes re-admit shard 1 to the ring
+	h.kill(2)       // second, independent kill
+	phase(400)
+	h.restart(2, m)
+	phase(600)
+
+	out := chaosOutcome{log: log}
+	for i := 0; i < 3; i++ {
+		p := func(name string) int64 {
+			return counterValue(t, reg, "fleet_shard"+string(rune('0'+i))+"_"+name)
+		}
+		out.failovers = append(out.failovers, p("failovers_total"))
+		out.served = append(out.served, p("rows_total"))
+		out.fallbacks = append(out.fallbacks, p("fallback_rows_total"))
+		out.up = append(out.up, r.ShardUp(i))
+	}
+	return out
+}
+
+// TestChaosKillRestartDeterministic is the chaos acceptance gate: a
+// kill+restart schedule mid-run produces zero caller-visible errors, the
+// per-shard failover counters match the injected kills exactly, every
+// shard is re-admitted after recovery, and the decision log is
+// byte-identical across same-seed reruns.
+func TestChaosKillRestartDeterministic(t *testing.T) {
+	m := trainModel(t, 1, bigObjects)
+	a := runChaos(t, m, 42)
+	b := runChaos(t, m, 42)
+
+	if !bytes.Equal(a.log, b.log) {
+		t.Fatalf("decision logs diverge across same-seed reruns (%d vs %d rows)", len(a.log), len(b.log))
+	}
+	if len(a.log) != 2400 {
+		t.Fatalf("decision log has %d rows, want 2400", len(a.log))
+	}
+	wantFailovers := []int64{0, 1, 1} // exactly the injected kills
+	for i, want := range wantFailovers {
+		if a.failovers[i] != want {
+			t.Errorf("shard %d failovers = %d, want %d", i, a.failovers[i], want)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !a.up[i] {
+			t.Errorf("shard %d not re-admitted by the end of the run", i)
+		}
+		if a.served[i] == 0 {
+			t.Errorf("shard %d served no rows", i)
+		}
+	}
+	// The killed shards must actually have degraded (fallback rows) and
+	// the healthy shard must never have.
+	if a.fallbacks[0] != 0 {
+		t.Errorf("healthy shard 0 reports %d fallback rows", a.fallbacks[0])
+	}
+	for _, i := range []int{1, 2} {
+		if a.fallbacks[i] == 0 {
+			t.Errorf("killed shard %d reports no fallback rows", i)
+		}
+	}
+	// Conservation: every row is either served remotely or by a fallback.
+	var total int64
+	for i := 0; i < 3; i++ {
+		total += a.served[i] + a.fallbacks[i]
+	}
+	if total != 2400 {
+		t.Errorf("served+fallback rows = %d, want 2400", total)
+	}
+}
+
+// TestChaosRolloutReachesRecoveredShard: a shard that was down during a
+// rollout receives the current model version while rejoining the ring —
+// recovery never resurrects a stale model.
+func TestChaosRolloutReachesRecoveredShard(t *testing.T) {
+	mA := trainModel(t, 1, bigObjects)
+	mB := trainModel(t, 99, smallObjects)
+	h := newHarness(t, 3, mA)
+	r, err := NewRouter(Config{Addrs: h.names(), Dial: h.dial, Batch: 8, MaxInFlight: 2, ProbeEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	h.kill(1)
+	if err := r.Rollout(2, mB); err != nil {
+		t.Fatalf("rollout with a down shard must succeed for the live shards: %v", err)
+	}
+	h.restart(1, mA) // restarted from its stale boot model
+
+	// Drive traffic until probing re-admits shard 1.
+	rng := rand.New(rand.NewSource(11))
+	now := int64(0)
+	for round := 0; round < 50 && !r.ShardUp(1); round++ {
+		reqs := randReqs(rng, 100, now)
+		now += 100
+		probs := make([]float64, len(reqs))
+		for i := range reqs {
+			r.Enqueue(reqs[i], &probs[i])
+		}
+		r.Flush()
+	}
+	if !r.ShardUp(1) {
+		t.Fatal("shard 1 never re-admitted")
+	}
+	if v := h.servers[1].ModelVersion(); v != 2 {
+		t.Fatalf("recovered shard runs version %d, want 2 (pushed on reconnect)", v)
+	}
+	// And the fleet as a whole serves model B.
+	rows := make([]float64, 30*features.Dim)
+	for i := range rows {
+		rows[i] = rng.Float64() * 100
+	}
+	probs := make([]float64, 30)
+	if err := r.Predict(rows, features.Dim, probs); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 30)
+	mB.PredictMatrix(rows, want, 1)
+	for i := range want {
+		if probs[i] != want[i] {
+			t.Fatalf("row %d served by a stale model after recovery", i)
+		}
+	}
+}

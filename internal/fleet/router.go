@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"lfo/internal/server"
+	"lfo/internal/trace"
+)
+
+// Enqueue routes one admission row to its home shard and returns
+// immediately; *dst receives the admission likelihood by the time Flush
+// returns (the remote model's probability, or the shard fallback's 0/1
+// likelihood when the shard is down or fails mid-batch). Enqueue never
+// reports an error to the caller: shard failure degrades, it does not
+// fail the cache.
+//
+//lfo:hotpath
+func (r *Router) Enqueue(req server.AdmitRequest, dst *float64) {
+	s := &r.shards[r.ring.Shard(req.ID)]
+	if !s.up {
+		//lfolint:ignore hotpath-alloc outage path behind a func value: fallback admission and reconnect probing run only while the shard is down
+		r.enqueueDown(s, req, dst)
+		return
+	}
+	base := ((s.flHead + s.flLen) % r.maxInFlight) * r.batch
+	s.rows[base+s.pn] = req
+	s.dsts[base+s.pn] = dst
+	s.pn++
+	if s.pn == r.batch {
+		r.flushShard(s)
+	}
+}
+
+// Flush sends every partial batch and completes every in-flight flight:
+// when it returns, all destinations passed to Enqueue are filled.
+//
+//lfo:hotpath
+func (r *Router) Flush() {
+	for i := range r.shards {
+		s := &r.shards[i]
+		r.flushShard(s)
+		for s.up && s.flLen > 0 {
+			r.readOne(s)
+		}
+	}
+}
+
+// flushShard writes the open slot's pending rows as one pipelined batch.
+// When the pipeline window is full it first completes the oldest flight,
+// so there is always a free slot for new rows.
+//
+//lfo:hotpath
+func (r *Router) flushShard(s *shard) {
+	if s.pn == 0 || !s.up {
+		return
+	}
+	slot := (s.flHead + s.flLen) % r.maxInFlight
+	base := slot * r.batch
+	id := r.nextID
+	r.nextID++
+	if err := s.mc.WriteAdmitBatch(id, s.rows[base:base+s.pn]); err != nil {
+		//lfolint:ignore hotpath-alloc failure path behind a func value: runs once per shard failure, draining every queued row to the fallback
+		r.onFail(s)
+		return
+	}
+	s.fl[slot] = flight{id: id, n: s.pn}
+	s.flLen++
+	s.pn = 0
+	s.batches.Inc()
+	if s.flLen == r.maxInFlight {
+		r.readOne(s)
+	}
+}
+
+// readOne completes the oldest in-flight batch: it validates the echoed
+// correlation ID and row count (any mismatch means the stream
+// desynchronized and the shard is failed), copies probabilities to the
+// callers' destinations, and only then observes the rows into the shard
+// fallback — observing at completion rather than enqueue keeps a row
+// from being "seen" by its own observation if it later drains to the
+// fallback.
+//
+//lfo:hotpath
+func (r *Router) readOne(s *shard) {
+	f := s.fl[s.flHead]
+	id, probs, err := s.mc.ReadResponse()
+	if err != nil || id != f.id || len(probs) != f.n {
+		//lfolint:ignore hotpath-alloc failure path behind a func value: runs once per shard failure
+		r.onFail(s)
+		return
+	}
+	base := s.flHead * r.batch
+	for i := 0; i < f.n; i++ {
+		*s.dsts[base+i] = probs[i]
+	}
+	for i := 0; i < f.n; i++ {
+		q := &s.rows[base+i]
+		//lfolint:ignore hotpath-alloc fallback heuristic behind an interface; the censor's generation rotation allocates at a bounded amortized rate
+		s.fallback.Observe(trace.Request{Time: q.Time, ID: trace.ObjectID(q.ID), Size: q.Size, Cost: q.Cost})
+	}
+	s.served.Add(int64(f.n))
+	s.flHead = (s.flHead + 1) % r.maxInFlight
+	s.flLen--
+}
+
+// enqueueDownSlow handles a row whose home shard is down: every
+// probeEvery-th such row triggers a reconnect attempt (count-based so
+// recovery is deterministic under replay); until one succeeds the row is
+// answered by the shard's fallback.
+func (r *Router) enqueueDownSlow(s *shard, req server.AdmitRequest, dst *float64) {
+	s.downRows++
+	if s.downRows%r.probeEvery == 0 && r.reconnect(s) {
+		r.Enqueue(req, dst) // shard is back up: route remotely
+		return
+	}
+	r.fallbackRow(s, req, dst)
+}
+
+// fallbackRow answers one row from the shard's degraded-mode heuristic.
+// Admit before Observe, so a row never sees its own observation.
+func (r *Router) fallbackRow(s *shard, req server.AdmitRequest, dst *float64) {
+	tr := trace.Request{Time: req.Time, ID: trace.ObjectID(req.ID), Size: req.Size, Cost: req.Cost}
+	_, p := s.fallback.Admit(tr, req.Free)
+	*dst = p
+	s.fallback.Observe(tr)
+	s.fallbacks.Inc()
+}
+
+// failShard tears a shard down after a write/read/correlation failure:
+// the failure is counted once, the connection closed, and every queued
+// row — in-flight flights oldest first, then the open slot — drains to
+// the fallback in enqueue order, so callers still get an answer for
+// every row and replays reproduce the same decisions.
+func (r *Router) failShard(s *shard) {
+	if !s.up {
+		return
+	}
+	s.up = false
+	s.failovers.Inc()
+	_ = s.mc.Close()
+	s.mc = nil
+	s.downRows = 0
+	for k := 0; k < s.flLen; k++ {
+		slot := (s.flHead + k) % r.maxInFlight
+		base := slot * r.batch
+		for i := 0; i < s.fl[slot].n; i++ {
+			r.fallbackRow(s, s.rows[base+i], s.dsts[base+i])
+		}
+	}
+	base := ((s.flHead + s.flLen) % r.maxInFlight) * r.batch
+	for i := 0; i < s.pn; i++ {
+		r.fallbackRow(s, s.rows[base+i], s.dsts[base+i])
+	}
+	s.flHead, s.flLen, s.pn = 0, 0, 0
+}
+
+// reconnect re-dials a down shard and, if the fleet has rolled a model
+// since boot, pushes the current version before the shard rejoins the
+// ring — a recovered shard never serves a stale model.
+func (r *Router) reconnect(s *shard) bool {
+	conn, err := r.dial(s.addr)
+	if err != nil {
+		return false
+	}
+	mc := server.NewMuxConn(conn)
+	mc.MaxResponsePayload = r.maxResp
+	if r.version > 0 {
+		if err := mc.Rollout(r.version, r.model); err != nil {
+			_ = mc.Close()
+			return false
+		}
+	}
+	s.mc = mc
+	s.up = true
+	s.downRows = 0
+	return true
+}

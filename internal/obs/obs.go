@@ -142,6 +142,51 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed values
+// from the bucket counts, interpolating linearly within the bucket the
+// quantile falls in. The estimate's resolution is the bucket width — use
+// fine-grained bounds when quantiles matter (see lfoload). Returns 0 for
+// an empty (or nil) histogram; a quantile landing in the overflow bucket
+// reports the last finite bound.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Scope is a named timer scope: it measures the wall-clock span between
 // Start and Stop into a latency histogram (the name is the histogram's
 // registry name). Scopes are plain values — starting and stopping one
@@ -172,7 +217,19 @@ func (s Scope) Stop() {
 // time; the returned handles are lock-free. A nil *Registry resolves
 // every name to a nil handle, so components accept an optional registry
 // without branching at record sites.
+//
+// A Registry value is a *view* onto a shared metric store: Prefixed
+// returns a view that prepends a fixed prefix to every resolved name
+// while writing into the same store, so a multi-shard process can hand
+// each shard a distinguishable namespace (shard0_server_..., ...) and
+// still snapshot everything at once.
 type Registry struct {
+	prefix string
+	s      *regState
+}
+
+// regState is the store shared by a registry and all its prefixed views.
+type regState struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -181,11 +238,22 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	return &Registry{s: &regState{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+	}}
+}
+
+// Prefixed returns a view of the registry that prepends prefix to every
+// metric name it resolves. The view shares the underlying store: metrics
+// registered through it appear in the parent's Snapshot (and /metrics)
+// under the prefixed name. Prefixes nest. A nil registry returns nil.
+func (r *Registry) Prefixed(prefix string) *Registry {
+	if r == nil {
+		return nil
 	}
+	return &Registry{prefix: r.prefix + prefix, s: r.s}
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -193,12 +261,13 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := r.counters[name]
+	name = r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	c := r.s.counters[name]
 	if c == nil {
 		c = &Counter{}
-		r.counters[name] = c
+		r.s.counters[name] = c
 	}
 	return c
 }
@@ -208,12 +277,13 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g := r.gauges[name]
+	name = r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	g := r.s.gauges[name]
 	if g == nil {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.s.gauges[name] = g
 	}
 	return g
 }
@@ -225,9 +295,10 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h := r.hists[name]
+	name = r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	h := r.s.hists[name]
 	if h == nil {
 		for i := 1; i < len(bounds); i++ {
 			if bounds[i] <= bounds[i-1] {
@@ -238,7 +309,7 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 			bounds:  append([]int64(nil), bounds...),
 			buckets: make([]atomic.Int64, len(bounds)+1),
 		}
-		r.hists[name] = h
+		r.s.hists[name] = h
 	}
 	return h
 }
@@ -275,16 +346,16 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
 	var s Snapshot
-	for name, c := range r.counters {
+	for name, c := range r.s.counters {
 		s.Counters = append(s.Counters, Metric{name, c.Value()})
 	}
-	for name, g := range r.gauges {
+	for name, g := range r.s.gauges {
 		s.Gauges = append(s.Gauges, Metric{name, g.Value()})
 	}
-	for name, h := range r.hists {
+	for name, h := range r.s.hists {
 		hs := HistogramSnapshot{
 			Name:   name,
 			Count:  h.Count(),

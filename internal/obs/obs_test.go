@@ -222,3 +222,90 @@ func BenchmarkRequestObs(b *testing.B) {
 		Start(lat).Stop()
 	}
 }
+
+// TestPrefixedRegistry: a prefixed view writes into the shared store
+// under prefixed names, the same name resolves to the same handle through
+// the same view, and distinct prefixes keep distinct handles. Nil safety
+// mirrors the base registry.
+func TestPrefixedRegistry(t *testing.T) {
+	r := NewRegistry()
+	s0 := r.Prefixed("shard0_")
+	s1 := r.Prefixed("shard1_")
+
+	s0.Counter("server_requests_total").Add(3)
+	s1.Counter("server_requests_total").Add(5)
+	r.Counter("fleet_rows_total").Add(7)
+
+	if got := r.Counter("shard0_server_requests_total").Value(); got != 3 {
+		t.Errorf("shard0 counter via parent = %d, want 3", got)
+	}
+	if got := s1.Counter("server_requests_total").Value(); got != 5 {
+		t.Errorf("shard1 counter = %d, want 5", got)
+	}
+	if s0.Counter("server_requests_total") == s1.Counter("server_requests_total") {
+		t.Error("distinct prefixes resolved to the same counter handle")
+	}
+	// Nested prefixes compose.
+	if r.Prefixed("a_").Prefixed("b_").Gauge("g") != r.Gauge("a_b_g") {
+		t.Error("nested prefix did not compose")
+	}
+	// The parent snapshot sees every view's metrics.
+	snap := r.Snapshot()
+	want := map[string]int64{
+		"shard0_server_requests_total": 3,
+		"shard1_server_requests_total": 5,
+		"fleet_rows_total":             7,
+	}
+	seen := make(map[string]int64)
+	for _, m := range snap.Counters {
+		seen[m.Name] = m.Value
+	}
+	for name, v := range want {
+		if seen[name] != v {
+			t.Errorf("snapshot %s = %d, want %d", name, seen[name], v)
+		}
+	}
+	// Nil registry stays nil through Prefixed.
+	var nilReg *Registry
+	if nilReg.Prefixed("x_") != nil {
+		t.Error("nil.Prefixed returned non-nil")
+	}
+	nilReg.Prefixed("x_").Counter("c").Inc() // must not panic
+}
+
+// TestHistogramQuantile: quantiles interpolate within the right bucket,
+// empty histograms report 0, and overflow-bucket quantiles clamp to the
+// last finite bound.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []int64{10, 20, 40, 80})
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+	// 100 observations uniformly in (0,10]: p50 lands mid-bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 of single-bucket fill = %d, want 5 (midpoint)", got)
+	}
+	// Add 100 in (20,40]: p99 of 200 obs lands in the (20,40] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(30)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 <= 20 || p99 > 40 {
+		t.Errorf("p99 = %d, want in (20,40]", p99)
+	}
+	// Overflow observations clamp to the last finite bound.
+	h2 := r.Histogram("q2", []int64{10, 20})
+	h2.Observe(1000)
+	if got := h2.Quantile(0.99); got != 20 {
+		t.Errorf("overflow quantile = %d, want last bound 20", got)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile != 0")
+	}
+}

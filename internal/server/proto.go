@@ -29,6 +29,12 @@ const (
 	// itself. 40 bytes per request instead of 424, at the cost of a
 	// stateful (per-connection) session.
 	opAdmit = 2
+	// opMux wraps an opPredict/opAdmit payload in a correlation-ID
+	// envelope so several batches can be in flight per connection; see
+	// mux.go.
+	opMux = 3
+	// opModel is the versioned model hot-swap request/ack; see mux.go.
+	opModel = 4
 	opError = 0xff
 )
 

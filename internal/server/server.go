@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -58,6 +59,8 @@ type DegradeEvent struct {
 // Every violation is counted (Obs) and surfaced once via OnDegrade.
 type Server struct {
 	model    atomic.Pointer[gbdt.Model]
+	version  atomic.Uint64
+	swapMu   sync.Mutex // serializes versioned swaps (opModel) across connections
 	listener net.Listener
 	workers  int
 
@@ -128,6 +131,7 @@ type Server struct {
 type serverMetrics struct {
 	predictReqs   *obs.Counter
 	admitReqs     *obs.Counter
+	muxReqs       *obs.Counter
 	predictRows   *obs.Counter
 	admitRows     *obs.Counter
 	readErrors    *obs.Counter
@@ -139,6 +143,9 @@ type serverMetrics struct {
 	connRejects   *obs.Counter
 	acceptErrors  *obs.Counter
 	drainKills    *obs.Counter
+	modelSwaps    *obs.Counter
+	swapRejects   *obs.Counter
+	modelVersion  *obs.Gauge
 	openConns     *obs.Gauge
 	predictNS     *obs.Histogram
 }
@@ -147,6 +154,7 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 	return serverMetrics{
 		predictReqs:   r.Counter("server_predict_requests_total"),
 		admitReqs:     r.Counter("server_admit_requests_total"),
+		muxReqs:       r.Counter("server_mux_requests_total"),
 		predictRows:   r.Counter("server_predict_rows_total"),
 		admitRows:     r.Counter("server_admit_rows_total"),
 		readErrors:    r.Counter("server_read_errors_total"),
@@ -158,6 +166,9 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		connRejects:   r.Counter("server_conn_limit_rejects_total"),
 		acceptErrors:  r.Counter("server_accept_errors_total"),
 		drainKills:    r.Counter("server_drain_force_closes_total"),
+		modelSwaps:    r.Counter("server_model_swaps_total"),
+		swapRejects:   r.Counter("server_model_swap_rejects_total"),
+		modelVersion:  r.Gauge("server_model_version"),
 		openConns:     r.Gauge("server_open_connections"),
 		predictNS:     r.Histogram("server_predict_ns", obs.LatencyBounds),
 	}
@@ -258,13 +269,28 @@ func New(model *gbdt.Model, workers int) *Server {
 	return s
 }
 
-// SetModel atomically swaps the deployed model.
+// SetModel atomically swaps the deployed model without changing the
+// deployed version (the local, unversioned handoff path).
 func (s *Server) SetModel(m *gbdt.Model) { s.model.Store(m) }
+
+// SetModelVersion atomically deploys a model as the given version —
+// the local equivalent of an opModel rollout frame.
+func (s *Server) SetModelVersion(m *gbdt.Model, version uint64) {
+	s.swapMu.Lock()
+	s.model.Store(m)
+	s.version.Store(version)
+	s.swapMu.Unlock()
+	s.m.modelVersion.Set(int64(version))
+}
+
+// ModelVersion returns the deployed model version (0 = never versioned).
+func (s *Server) ModelVersion() uint64 { return s.version.Load() }
 
 // Listen binds the address (e.g. "127.0.0.1:0") and starts accepting in a
 // background goroutine. It returns the bound address.
 func (s *Server) Listen(addr string) (net.Addr, error) {
 	s.m = newServerMetrics(s.Obs)
+	s.m.modelVersion.Set(int64(s.version.Load()))
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
@@ -280,6 +306,7 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 // it must be called once and returns immediately.
 func (s *Server) Serve(ln net.Listener) {
 	s.m = newServerMetrics(s.Obs)
+	s.m.modelVersion.Set(int64(s.version.Load()))
 	s.listener = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -356,6 +383,18 @@ func (s *Server) draining() bool {
 	return s.closed
 }
 
+// connState is one connection's request-processing scratch: the lazy
+// feature tracker for the stateful admit protocol and the reused feature
+// matrix the admit handler fills before its PredictMatrix call. Shared
+// by the classic and mux paths, which interleave freely on a connection.
+type connState struct {
+	tracker *features.Tracker
+	rows    []float64 // admit feature-matrix scratch, grown to the largest batch seen
+}
+
+// errNoModel answers requests that arrive before any model is deployed.
+var errNoModel = errors.New("no model deployed")
+
 // handle serves one connection until disconnect, error, or drain.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
@@ -367,10 +406,7 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	// Per-connection feature tracker for the compact opAdmit protocol;
-	// allocated lazily on the first opAdmit frame.
-	var tracker *features.Tracker
-	buf := make([]float64, features.Dim)
+	var cs connState
 	maxFrame := s.maxFrame()
 	readTimeout := s.readTimeout()
 	writeTimeout := s.writeTimeout()
@@ -404,60 +440,143 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		m := s.model.Load()
-		if m == nil {
-			if werr := s.writeResponse(conn, writeTimeout, encodeError("no model deployed")); werr != nil {
-				return
-			}
-			continue
-		}
-		var probs []float64
+		var resp []byte
 		switch {
-		case len(payload) > 0 && payload[0] == opPredict:
-			rows, derr := decodePredictRequest(payload, features.Dim)
-			if derr != nil {
-				err = derr
-				break
-			}
-			s.m.predictReqs.Inc()
-			s.m.predictRows.Add(int64(len(rows) / features.Dim))
-			probs = make([]float64, len(rows)/features.Dim)
-			sc := obs.Start(s.m.predictNS)
-			m.PredictMatrix(rows, probs, s.workers)
-			sc.Stop()
-		case len(payload) > 0 && payload[0] == opAdmit:
-			reqs, derr := decodeAdmitRequest(payload)
-			if derr != nil {
-				err = derr
-				break
-			}
-			if tracker == nil {
-				tracker = features.NewTracker(s.trackerBound())
-			}
-			s.m.admitReqs.Inc()
-			s.m.admitRows.Add(int64(len(reqs)))
-			probs = make([]float64, len(reqs))
-			sc := obs.Start(s.m.predictNS)
-			for i, ar := range reqs {
-				r := trace.Request{Time: ar.Time, ID: trace.ObjectID(ar.ID), Size: ar.Size, Cost: ar.Cost}
-				tracker.Features(r, ar.Free, buf)
-				probs[i] = m.Predict(buf)
-				tracker.Update(r)
-			}
-			sc.Stop()
+		case len(payload) > 0 && payload[0] == opMux:
+			resp = s.handleMux(&cs, payload)
+		case len(payload) > 0 && payload[0] == opModel:
+			resp = s.handleModelSwap(payload)
 		default:
-			err = fmt.Errorf("server: unknown opcode in %d-byte frame", len(payload))
-		}
-		if err != nil {
-			s.m.badRequests.Inc()
-			if werr := s.writeResponse(conn, writeTimeout, encodeError(err.Error())); werr != nil {
-				return
+			probs, perr := s.process(&cs, payload)
+			if perr != nil {
+				s.countBadRequest(perr)
+				resp = encodeError(perr.Error())
+			} else {
+				resp = encodePredictResponse(probs)
 			}
-			continue
 		}
-		if err := s.writeResponse(conn, writeTimeout, encodePredictResponse(probs)); err != nil {
+		if err := s.writeResponse(conn, writeTimeout, resp); err != nil {
 			return
 		}
+	}
+}
+
+// countBadRequest bumps the malformed-request counter, except for the
+// no-model condition, which is a deployment state rather than a peer
+// fault (matching the historical counter semantics).
+func (s *Server) countBadRequest(err error) {
+	if !errors.Is(err, errNoModel) {
+		s.m.badRequests.Inc()
+	}
+}
+
+// handleMux unwraps a correlation-ID envelope, processes the inner
+// request, and wraps the response (or application error) under the same
+// ID. An unparseable envelope is answered unwrapped: the client cannot
+// correlate it either way and will fail the stream over to its fallback.
+func (s *Server) handleMux(cs *connState, payload []byte) []byte {
+	id, inner, derr := decodeMux(payload)
+	if derr != nil {
+		s.m.badRequests.Inc()
+		return encodeError(derr.Error())
+	}
+	s.m.muxReqs.Inc()
+	probs, perr := s.process(cs, inner)
+	if perr != nil {
+		s.countBadRequest(perr)
+		return encodeMuxResponse(id, encodeError(perr.Error()))
+	}
+	return encodeMuxResponse(id, encodePredictResponse(probs))
+}
+
+// handleModelSwap deploys a pushed model under its version: newer
+// versions swap atomically, the current version acks idempotently
+// (re-pushed rollouts), and stale or unversioned pushes are rejected so
+// a lagging controller cannot roll a shard backwards.
+func (s *Server) handleModelSwap(payload []byte) []byte {
+	version, body, derr := decodeModelSwap(payload)
+	if derr != nil {
+		s.m.badRequests.Inc()
+		return encodeError(derr.Error())
+	}
+	if version == 0 {
+		s.m.swapRejects.Inc()
+		return encodeError("server: model swap version must be >= 1")
+	}
+	m, lerr := gbdt.Load(bytes.NewReader(body))
+	if lerr != nil {
+		s.m.swapRejects.Inc()
+		return encodeError(fmt.Sprintf("server: model swap rejected: %v", lerr))
+	}
+	s.swapMu.Lock()
+	cur := s.version.Load()
+	if version < cur {
+		s.swapMu.Unlock()
+		s.m.swapRejects.Inc()
+		return encodeError(fmt.Sprintf("server: stale model swap: version %d, deployed %d", version, cur))
+	}
+	if version > cur {
+		s.model.Store(m)
+		s.version.Store(version)
+	}
+	s.swapMu.Unlock()
+	if version > cur {
+		s.m.modelSwaps.Inc()
+		s.m.modelVersion.Set(int64(version))
+	}
+	return encodeModelAck(version)
+}
+
+// process evaluates one classic request payload (opPredict or opAdmit)
+// against the deployed model. Admit batches extract features row by row
+// (the tracker mutates between rows) into a reused matrix and score it
+// with one batch-major PredictMatrix call, so a full pipelined block
+// costs one kernel invocation instead of per-row tree walks.
+func (s *Server) process(cs *connState, payload []byte) ([]float64, error) {
+	m := s.model.Load()
+	if m == nil {
+		return nil, errNoModel
+	}
+	switch {
+	case len(payload) > 0 && payload[0] == opPredict:
+		rows, derr := decodePredictRequest(payload, features.Dim)
+		if derr != nil {
+			return nil, derr
+		}
+		s.m.predictReqs.Inc()
+		s.m.predictRows.Add(int64(len(rows) / features.Dim))
+		probs := make([]float64, len(rows)/features.Dim)
+		sc := obs.Start(s.m.predictNS)
+		m.PredictMatrix(rows, probs, s.workers)
+		sc.Stop()
+		return probs, nil
+	case len(payload) > 0 && payload[0] == opAdmit:
+		reqs, derr := decodeAdmitRequest(payload)
+		if derr != nil {
+			return nil, derr
+		}
+		if cs.tracker == nil {
+			cs.tracker = features.NewTracker(s.trackerBound())
+		}
+		s.m.admitReqs.Inc()
+		s.m.admitRows.Add(int64(len(reqs)))
+		need := len(reqs) * features.Dim
+		if cap(cs.rows) < need {
+			cs.rows = make([]float64, need)
+		}
+		rows := cs.rows[:need]
+		probs := make([]float64, len(reqs))
+		sc := obs.Start(s.m.predictNS)
+		for i, ar := range reqs {
+			r := trace.Request{Time: ar.Time, ID: trace.ObjectID(ar.ID), Size: ar.Size, Cost: ar.Cost}
+			cs.tracker.Features(r, ar.Free, rows[i*features.Dim:(i+1)*features.Dim])
+			cs.tracker.Update(r)
+		}
+		m.PredictMatrix(rows, probs, s.workers)
+		sc.Stop()
+		return probs, nil
+	default:
+		return nil, fmt.Errorf("server: unknown opcode in %d-byte frame", len(payload))
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"lfo/internal/core"
 	"lfo/internal/features"
+	"lfo/internal/fleet"
 	"lfo/internal/gbdt"
 	"lfo/internal/gen"
 	"lfo/internal/mrc"
@@ -339,3 +340,26 @@ func NewRemoteAdmitter(remote core.RemotePredictor, cfg RemoteAdmitterConfig) (*
 // NewSecondHitCensor returns a bounded second-hit admission heuristic
 // (maxIDs 0 = default bound, negative = unbounded).
 func NewSecondHitCensor(maxIDs int) *SecondHitCensor { return policy.NewSecondHitCensor(maxIDs) }
+
+// Fleet serving (see internal/fleet): a consistent-hash ring shards
+// objects across N prediction servers and a client-side router coalesces
+// admission rows into per-shard batches pipelined over multiplexed
+// connections, with per-shard failover to a local heuristic.
+type (
+	// FleetConfig parameterizes a FleetRouter (shard addresses, batch
+	// size, pipeline window, failover knobs).
+	FleetConfig = fleet.Config
+	// FleetRouter batches and routes admission rows to a shard fleet.
+	FleetRouter = fleet.Router
+	// FleetRing is the consistent-hash ring mapping objects to shards.
+	FleetRing = fleet.Ring
+)
+
+// NewFleetRouter dials every shard in cfg.Addrs and returns a router.
+// Unreachable shards start in failed-over state and are re-admitted by
+// the probe cycle; only a fully unreachable fleet is an error.
+func NewFleetRouter(cfg FleetConfig) (*FleetRouter, error) { return fleet.NewRouter(cfg) }
+
+// NewFleetRing returns a consistent-hash ring over shards 0..shards-1
+// with the given virtual-node count per shard (0 = default).
+func NewFleetRing(shards, replicas int) *FleetRing { return fleet.NewRing(shards, replicas) }

@@ -33,10 +33,10 @@ step "go test ./..."
 go test ./...
 
 step "go test -race (concurrent packages)"
-go test -race ./internal/server ./internal/faultnet ./internal/tiered \
-    ./internal/sim ./internal/par ./internal/pq ./internal/gbdt \
-    ./internal/features ./internal/core ./internal/opt ./internal/mcf \
-    ./internal/obs
+go test -race ./internal/server ./internal/fleet ./internal/faultnet \
+    ./internal/tiered ./internal/sim ./internal/par ./internal/pq \
+    ./internal/gbdt ./internal/features ./internal/core ./internal/opt \
+    ./internal/mcf ./internal/obs
 
 # Coverage floors on the serving path: the chaos/fuzz suites are the
 # main guard on these packages, so a silent drop in what they exercise
@@ -56,6 +56,7 @@ cover_floor() {
 }
 step "go test -cover floors"
 cover_floor ./internal/server 85
+cover_floor ./internal/fleet 80
 cover_floor ./internal/faultnet 70
 
 # Alloc-budget regression gate over the pinned hot-path benchmarks. The
@@ -78,8 +79,8 @@ fi
 
 step "alloc budgets"
 go test -run '^$' \
-    -bench '^(BenchmarkPredict|BenchmarkFlatPredict|BenchmarkPredictBatch|BenchmarkPredictMatrix|BenchmarkRunRequestLoop|BenchmarkRequestObs)$' \
-    -benchmem -benchtime 200x ./internal/gbdt ./internal/sim ./internal/obs \
+    -bench '^(BenchmarkPredict|BenchmarkFlatPredict|BenchmarkPredictBatch|BenchmarkPredictMatrix|BenchmarkRunRequestLoop|BenchmarkRequestObs|BenchmarkRouterEnqueueFlush)$' \
+    -benchmem -benchtime 200x ./internal/gbdt ./internal/sim ./internal/obs ./internal/fleet \
     | awk -v budgets=testdata/alloc_budgets.txt -f scripts/allocgate.awk
 
 # Short fuzz smoke over the frame codec and the model parser. The
@@ -89,6 +90,7 @@ go test -run '^$' \
 # otherwise swallow the whole run.
 step "fuzz smoke"
 go test -run '^$' -fuzz '^FuzzFrameDecode$' -fuzztime 5s -fuzzminimizetime 5s ./internal/server
+go test -run '^$' -fuzz '^FuzzMuxFrameDecode$' -fuzztime 5s -fuzzminimizetime 5s ./internal/server
 go test -run '^$' -fuzz '^FuzzModelLoad$' -fuzztime 5s -fuzzminimizetime 5s ./internal/gbdt
 
 echo "ALL CHECKS PASSED"
