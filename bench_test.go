@@ -521,3 +521,17 @@ func BenchmarkRobustnessScans(b *testing.B) {
 		printTable(b, experiments.RobustnessTable(rs))
 	}
 }
+
+func BenchmarkEvictionGrid(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Requests = 12000
+	cfg.Window = 4000
+	cfg.CacheSize = 8 << 20
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.EvictionGrid(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, experiments.EvictionGridTable(rs))
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"lfo/internal/cliutil"
 	"lfo/internal/core"
+	"lfo/internal/evict"
 	"lfo/internal/gen"
 	"lfo/internal/obs"
 	"lfo/internal/opt"
@@ -36,7 +37,9 @@ func main() {
 		sizeStr   = flag.String("size", "64m", "cache size (e.g. 64m, 1g)")
 		objective = flag.String("objective", "bhr", "cost objective: bhr, ohr or cost")
 		warmup    = flag.Int("warmup", 0, "requests excluded from metrics")
-		window    = flag.Int("window", 50000, "LFO training window (with -policy lfo)")
+		window    = flag.Int("window", 50000, "training window for lfo and evict policies")
+		evictMode = flag.String("evict", "", "eviction mechanism: rank|learned|gdsf|lru for -policy lfo (default rank), learned|gdsf|lru for -policy evict (default learned)")
+		admit     = flag.String("admit", "admit-all", "admission side for -policy evict: admit-all or second-hit")
 		workers   = flag.Int("workers", 0, "goroutines for LFO training/scoring and OPT labeling: 0=all cores, 1=sequential")
 		series    = flag.Int("series", 0, "also print per-window metrics every N requests")
 		showObs   = flag.Bool("obs", false, "print the observability snapshot (internal/obs counters) after the run")
@@ -45,7 +48,8 @@ func main() {
 
 	if *list {
 		fmt.Println("baseline policies:", policy.Names())
-		fmt.Println("learning cache:    lfo")
+		fmt.Println("learning cache:    lfo (eviction via -evict: rank, learned, gdsf, lru)")
+		fmt.Println("combined cache:    evict (-admit admit-all|second-hit, -evict learned|gdsf|lru)")
 		return
 	}
 
@@ -76,7 +80,7 @@ func main() {
 
 	var results []*sim.Metrics
 	for _, pn := range names {
-		p, err := makePolicy(pn, size, *seed, *window, *workers, reg)
+		p, err := makePolicy(pn, size, *seed, *window, *workers, *evictMode, *admit, reg)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -119,15 +123,36 @@ func loadTrace(path, mix string, n int, seed int64) (*trace.Trace, error) {
 	}
 }
 
-func makePolicy(name string, size, seed int64, window, workers int, reg *obs.Registry) (sim.Policy, error) {
-	if name == "lfo" {
+func makePolicy(name string, size, seed int64, window, workers int, evictMode, admit string, reg *obs.Registry) (sim.Policy, error) {
+	switch name {
+	case "lfo":
 		return core.New(core.Config{
 			CacheSize:  size,
 			WindowSize: window,
 			OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
 			Workers:    workers,
+			Eviction:   evictMode,
+			Seed:       seed,
 			Obs:        reg,
 		})
+	case "evict":
+		cfg := evict.Config{
+			CacheSize:  size,
+			Eviction:   evictMode,
+			Seed:       seed,
+			WindowSize: window,
+			Workers:    workers,
+			Obs:        reg,
+		}
+		switch admit {
+		case "", "admit-all":
+		case "second-hit":
+			cfg.Admitter = policy.NewSecondHitCensor(0)
+			cfg.AdmitterName = "second-hit"
+		default:
+			return nil, fmt.Errorf("unknown -admit %q (want admit-all or second-hit)", admit)
+		}
+		return evict.New(cfg)
 	}
 	return policy.New(name, size, seed)
 }

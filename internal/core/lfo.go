@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lfo/internal/evict"
 	"lfo/internal/features"
 	"lfo/internal/gbdt"
 	"lfo/internal/obs"
@@ -60,6 +61,20 @@ type Config struct {
 	// them immediately (the paper's "a cache hit [may lead] to the
 	// eviction of the hit object", §2.4); disabling is for ablations.
 	DisableEvictOnHit bool
+	// Eviction selects the eviction mechanism. "" or "rank" keeps §2.4's
+	// full likelihood-ranked queue (re-scored on every retrain). The
+	// alternatives delegate victim selection to internal/evict:
+	// "learned" ranks a sampled candidate set with a second GBDT trained
+	// from the same OPT window labels as the admission model (deployed
+	// atomically alongside it each retrain), "gdsf" and "lru" are the
+	// heuristic baselines for the admission×eviction ablation grid.
+	Eviction string
+	// EvictionCandidates is the sampled candidate set size K for
+	// Eviction == "learned" (default evict.DefaultCandidates).
+	EvictionCandidates int
+	// Seed seeds the learned evictor's candidate sampler. Runs are
+	// byte-reproducible for a fixed seed.
+	Seed int64
 	// OnRetrain, when set, is called after each training round with
 	// diagnostics about the new model.
 	OnRetrain func(stats RetrainStats)
@@ -148,8 +163,9 @@ func (c Config) withDefaults() Config {
 // LFO is the online learning cache. It implements sim.Policy.
 type LFO struct {
 	cfg     Config
-	store   *sim.Store[struct{}]
-	rank    *pq.Queue // eviction rank: min predicted likelihood first
+	store   *sim.Store[evict.Meta]
+	rank    *pq.Queue     // rank mode: min predicted likelihood first
+	evictor evict.Evictor // non-rank modes; nil in rank mode
 	tracker *features.Tracker
 	model   *gbdt.Model
 
@@ -172,14 +188,17 @@ type LFO struct {
 	completedWindows int
 	windowsDropped   int
 
-	m coreMetrics // nil-safe handles; zero cost when cfg.Obs is nil
+	m  coreMetrics         // nil-safe handles; zero cost when cfg.Obs is nil
+	em evict.VictimMetrics // victims-by-tier counters for evictor modes
 }
 
-// trainResult is one finished training round: the model plus its
-// OnRetrain diagnostics (stats are only populated when OnRetrain is set).
+// trainResult is one finished training round: the admission model, the
+// eviction ranker (nil unless Eviction == "learned"), and the OnRetrain
+// diagnostics (stats are only populated when OnRetrain is set).
 type trainResult struct {
-	model *gbdt.Model
-	stats RetrainStats
+	model      *gbdt.Model
+	evictModel *gbdt.Model
+	stats      RetrainStats
 }
 
 // coreMetrics bundles the LFO hot-path metric handles, resolved once at
@@ -194,6 +213,7 @@ type coreMetrics struct {
 	optNS          *obs.Histogram
 	trainNS        *obs.Histogram
 	rescoreNS      *obs.Histogram
+	evictTrainNS   *obs.Histogram
 }
 
 func newCoreMetrics(r *obs.Registry) coreMetrics {
@@ -206,6 +226,7 @@ func newCoreMetrics(r *obs.Registry) coreMetrics {
 		optNS:          r.Histogram("core_retrain_opt_ns", obs.LatencyBounds),
 		trainNS:        r.Histogram("core_retrain_train_ns", obs.LatencyBounds),
 		rescoreNS:      r.Histogram("core_retrain_rescore_ns", obs.LatencyBounds),
+		evictTrainNS:   r.Histogram("core_retrain_evict_train_ns", obs.LatencyBounds),
 	}
 }
 
@@ -228,13 +249,28 @@ func New(cfg Config) (*LFO, error) {
 	if err := cfg.GBDT.Validate(); err != nil {
 		return nil, err
 	}
+	store := sim.NewStore[evict.Meta](cfg.CacheSize)
 	p := &LFO{
 		cfg:     cfg,
-		store:   sim.NewStore[struct{}](cfg.CacheSize),
-		rank:    pq.New(),
+		store:   store,
 		tracker: features.NewTracker(cfg.MaxTrackedObjects),
 		buf:     make([]float64, features.Dim),
 		m:       newCoreMetrics(cfg.Obs),
+	}
+	switch cfg.Eviction {
+	case "", "rank":
+		p.rank = pq.New()
+	default:
+		ev, err := evict.NewEvictor(cfg.Eviction, store, evict.Options{
+			Candidates: cfg.EvictionCandidates,
+			Seed:       cfg.Seed,
+			Obs:        cfg.Obs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %v", err)
+		}
+		p.evictor = ev
+		p.em = evict.NewVictimMetrics(cfg.Obs)
 	}
 	if cfg.InitialModel != nil {
 		if cfg.InitialModel.Dim != features.Dim {
@@ -252,7 +288,12 @@ func New(cfg Config) (*LFO, error) {
 }
 
 // Name implements sim.Policy.
-func (p *LFO) Name() string { return "LFO" }
+func (p *LFO) Name() string {
+	if p.evictor != nil {
+		return "LFO+" + p.evictor.Name()
+	}
+	return "LFO"
+}
 
 // Model returns the currently deployed model (nil during bootstrap).
 func (p *LFO) Model() *gbdt.Model { return p.model }
@@ -277,7 +318,8 @@ func (p *LFO) Request(r trace.Request) bool {
 		likelihood = p.model.Predict(p.buf)
 	}
 
-	hit := p.store.Has(r.ID)
+	e := p.store.Get(r.ID)
+	hit := e != nil
 	if hit {
 		p.m.hits.Inc()
 	}
@@ -287,19 +329,18 @@ func (p *LFO) Request(r trace.Request) bool {
 		// and, matching OPT's behavior, drop the object right away when
 		// the model says OPT would not keep it.
 		if likelihood < p.cfg.Cutoff && !p.cfg.DisableEvictOnHit {
-			p.rank.Remove(r.ID)
-			p.store.Remove(r.ID)
+			p.removeResident(e)
 		} else {
-			p.rank.Update(r.ID, likelihood)
+			p.touch(e, r, likelihood)
 		}
 	case hit:
-		p.rank.Update(r.ID, float64(p.clock)) // bootstrap: LRU order
+		p.touch(e, r, float64(p.clock)) // bootstrap: LRU order
 	case r.Size <= p.store.Capacity():
 		if p.model == nil {
 			// Bootstrap: admit all, LRU eviction order.
-			p.admit(r, float64(p.clock))
+			p.admitWith(r, float64(p.clock))
 		} else if likelihood >= p.cfg.Cutoff {
-			p.admit(r, likelihood)
+			p.admitWith(r, likelihood)
 		}
 	}
 
@@ -335,6 +376,36 @@ func (p *LFO) Close() {
 	}
 }
 
+// removeResident drops a resident object (model-driven evict-on-hit),
+// keeping whichever eviction structure is active consistent.
+func (p *LFO) removeResident(e *sim.StoreEntry[evict.Meta]) {
+	if p.evictor != nil {
+		p.evictor.OnRemove(e)
+	} else {
+		p.rank.Remove(e.ID)
+	}
+	p.store.Remove(e.ID)
+}
+
+// touch records a hit: in rank mode the object's queue priority becomes
+// rank; in evictor mode the evictor updates the entry's metadata.
+func (p *LFO) touch(e *sim.StoreEntry[evict.Meta], r trace.Request, rank float64) {
+	if p.evictor != nil {
+		p.evictor.OnHit(e, r)
+	} else {
+		p.rank.Update(e.ID, rank)
+	}
+}
+
+// admitWith dispatches admission to the active eviction mechanism.
+func (p *LFO) admitWith(r trace.Request, rank float64) {
+	if p.evictor != nil {
+		p.admitEvictor(r)
+	} else {
+		p.admit(r, rank)
+	}
+}
+
 // admit inserts the object with the given eviction rank, evicting
 // lowest-ranked objects to make room. This is the per-request
 // store/eviction loop, so it is held to the zero-allocation discipline.
@@ -347,6 +418,24 @@ func (p *LFO) admit(r trace.Request, rank float64) {
 	}
 	p.store.Add(r.ID, r.Size)
 	p.rank.Push(r.ID, rank)
+}
+
+// admitEvictor inserts the object under a delegated eviction strategy,
+// asking the evictor for victims until the newcomer fits. The
+// zero-allocation guarantee for victim selection lives on the concrete
+// evictors (internal/evict pins the learned ranker's pick at 0 allocs);
+// this wrapper stays off the annotated set because the interface
+// dispatch itself defeats static verification.
+func (p *LFO) admitEvictor(r trace.Request) {
+	for !p.store.Fits(r.Size) {
+		id := p.evictor.Victim(p.now)
+		victim := p.store.Get(id)
+		p.em.Observe(victim.Size)
+		p.evictor.OnRemove(victim)
+		p.store.Remove(id)
+	}
+	e := p.store.Add(r.ID, r.Size)
+	p.evictor.OnAdmit(e, r)
 }
 
 // retrain runs the window handoff (Figure 2) as an explicit two-stage
@@ -372,13 +461,17 @@ func (p *LFO) retrain() {
 			res, optErr = opt.Compute(win, p.cfg.OPT)
 			sc.Stop()
 		}()
-		ids, rescoreRows = p.gatherResidents()
+		if p.rank != nil {
+			ids, rescoreRows = p.gatherResidents()
+		}
 		<-done
 	} else {
 		sc := obs.Start(p.m.optNS)
 		res, optErr = opt.Compute(win, p.cfg.OPT)
 		sc.Stop()
-		ids, rescoreRows = p.gatherResidents()
+		if p.rank != nil {
+			ids, rescoreRows = p.gatherResidents()
+		}
 	}
 	if optErr != nil {
 		// OPT computation cannot fail for a valid window and positive
@@ -408,15 +501,34 @@ func (p *LFO) retrain() {
 		p.cfg.OnRetrain(p.retrainStats(model, ds, res))
 	}
 
+	// The eviction ranker trains from the same window's OPT labels (an
+	// object OPT would not cache is the ideal victim), so the one solve
+	// above supervises both models.
+	var evictModel *gbdt.Model
+	if p.cfg.Eviction == "learned" {
+		sc = obs.Start(p.m.evictTrainNS)
+		evictModel, err = evict.Train(p.winReqs, res.Admit, p.cfg.GBDT)
+		sc.Stop()
+		if err != nil {
+			panic(fmt.Sprintf("core: eviction training failed: %v", err))
+		}
+	}
+
 	p.winReqs = p.winReqs[:0]
 	p.winFeats = p.winFeats[:0]
+	// Deploy both models at the same point, atomically between requests.
 	p.model = model
+	if evictModel != nil {
+		p.evictor.SetModel(evictModel)
+	}
 	p.windows++
 	p.m.retrains.Inc()
 	p.updateLag()
-	sc = obs.Start(p.m.rescoreNS)
-	p.rescoreWith(ids, rescoreRows)
-	sc.Stop()
+	if p.rank != nil {
+		sc = obs.Start(p.m.rescoreNS)
+		p.rescoreWith(ids, rescoreRows)
+		sc.Stop()
+	}
 }
 
 // retrainStats measures the new model against OPT on its own training
@@ -457,13 +569,18 @@ func (p *LFO) deploy(tr trainResult) {
 		p.cfg.OnRetrain(tr.stats)
 	}
 	p.model = tr.model
+	if tr.evictModel != nil {
+		p.evictor.SetModel(tr.evictModel)
+	}
 	p.windows++
 	p.m.retrains.Inc()
 	p.updateLag()
-	ids, rows := p.gatherResidents()
-	sc := obs.Start(p.m.rescoreNS)
-	p.rescoreWith(ids, rows)
-	sc.Stop()
+	if p.rank != nil {
+		ids, rows := p.gatherResidents()
+		sc := obs.Start(p.m.rescoreNS)
+		p.rescoreWith(ids, rows)
+		sc.Stop()
+	}
 }
 
 // retrainAsync snapshots the window and trains in a goroutine; the model
@@ -522,6 +639,15 @@ func trainWindow(reqs []trace.Request, feats []float64, cfg Config, m coreMetric
 		panic(fmt.Sprintf("core: training failed: %v", err))
 	}
 	tr := trainResult{model: model}
+	if cfg.Eviction == "learned" {
+		sc = obs.Start(m.evictTrainNS)
+		em, everr := evict.Train(reqs, res.Admit, cfg.GBDT)
+		sc.Stop()
+		if everr != nil {
+			panic(fmt.Sprintf("core: eviction training failed: %v", everr))
+		}
+		tr.evictModel = em
+	}
 	if cfg.OnRetrain != nil {
 		preds := make([]float64, ds.Len())
 		model.PredictMatrix(feats, preds, cfg.Workers)
@@ -561,7 +687,7 @@ func (p *LFO) gatherResidents() ([]trace.ObjectID, []float64) {
 		size int64
 	}
 	residents := make([]resident, 0, p.store.Len())
-	p.store.Range(func(e *sim.StoreEntry[struct{}]) bool {
+	p.store.Range(func(e *sim.StoreEntry[evict.Meta]) bool {
 		residents = append(residents, resident{e.ID, e.Size})
 		return true
 	})

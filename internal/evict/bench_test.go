@@ -1,0 +1,74 @@
+package evict
+
+import (
+	"testing"
+
+	"lfo/internal/gbdt"
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+// trainedRanker fits a small real model so the benchmark exercises the
+// flat kernel, not the bootstrap fallback.
+func trainedRanker(b *testing.B) *gbdt.Model {
+	b.Helper()
+	reqs := make([]trace.Request, 2000)
+	admit := make([]bool, len(reqs))
+	for i := range reqs {
+		id := trace.ObjectID(i % 97)
+		reqs[i] = trace.Request{Time: int64(i), ID: id, Size: int64(id%13+1) << 10, Cost: 1}
+		admit[i] = id%3 != 0
+	}
+	params := gbdt.DefaultParams()
+	params.Workers = 1
+	m, err := Train(reqs, admit, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkPickVictim measures one learned candidate ranking: sample K=64
+// residents, build K feature rows, one PredictMatrix call, take the
+// minimum. This is the eviction hot path and is pinned at 0 allocs/op in
+// testdata/alloc_budgets.txt.
+func BenchmarkPickVictim(b *testing.B) {
+	store := sim.NewStore[Meta](64 << 20)
+	l := newLearned(store, Options{Seed: 1})
+	l.SetModel(trainedRanker(b))
+	for i := 0; i < 4096; i++ {
+		e := store.Add(trace.ObjectID(i), 8<<10)
+		l.OnAdmit(e, trace.Request{Time: int64(i), ID: trace.ObjectID(i), Size: 8 << 10, Cost: 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Victim(int64(4096 + i))
+	}
+}
+
+// BenchmarkEvictCacheRequest drives the combined cache at steady-state
+// eviction churn with the learned evictor (trained model deployed), the
+// end-to-end per-request cost of learned eviction.
+func BenchmarkEvictCacheRequest(b *testing.B) {
+	c, err := New(Config{CacheSize: 8 << 20, Eviction: "learned", WindowSize: 1 << 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.learned.SetModel(trainedRanker(b))
+	const universe = 4096
+	reqs := make([]trace.Request, universe)
+	for i := range reqs {
+		reqs[i] = trace.Request{Time: int64(i), ID: trace.ObjectID(i), Size: 8 << 10, Cost: 1}
+	}
+	for _, r := range reqs {
+		c.Request(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := reqs[i%universe]
+		r.Time = int64(universe + i)
+		c.Request(r)
+	}
+}

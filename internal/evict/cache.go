@@ -1,0 +1,220 @@
+package evict
+
+import (
+	"fmt"
+
+	"lfo/internal/gbdt"
+	"lfo/internal/obs"
+	"lfo/internal/opt"
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+// Admitter is the admission-side strategy interface (the same shape as
+// internal/tiered's: policy.SecondHitCensor and tiered's admitters all
+// satisfy it structurally). Admit decides; Observe records the request in
+// the admitter's history after the decision.
+type Admitter interface {
+	Admit(r trace.Request, freeBytes int64) (bool, float64)
+	Observe(r trace.Request)
+}
+
+// Config parameterizes a combined admission×eviction cache.
+type Config struct {
+	// CacheSize is the capacity in bytes. Required.
+	CacheSize int64
+	// Admitter decides admission; nil means admit everything.
+	Admitter Admitter
+	// AdmitterName labels the admission side in Name() ("admit-all" when
+	// the Admitter is nil, "custom" otherwise unless set).
+	AdmitterName string
+	// Eviction selects the eviction strategy: "learned" (default),
+	// "gdsf", or "lru".
+	Eviction string
+	// Candidates is the learned evictor's sample size K (default 64).
+	Candidates int
+	// Seed seeds the learned evictor's candidate sampler.
+	Seed int64
+	// WindowSize is the eviction-ranker retrain cadence in requests,
+	// matching core's admission window (default 50000). Only the learned
+	// evictor trains; heuristic evictors ignore the window entirely.
+	WindowSize int
+	// OPT configures the offline label solve; OPT.CacheSize is overridden
+	// with CacheSize.
+	OPT opt.Config
+	// GBDT configures the ranker's learner; zero value means
+	// gbdt.DefaultParams.
+	GBDT gbdt.Params
+	// Workers caps OPT/GBDT parallelism at retrain time. Results are
+	// byte-identical for any value.
+	Workers int
+	// Obs, when set, records cache and eviction metrics.
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Eviction == "" {
+		c.Eviction = "learned"
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = 50000
+	}
+	if c.GBDT.NumIterations == 0 {
+		c.GBDT = gbdt.DefaultParams()
+	}
+	if c.GBDT.Workers == 0 {
+		c.GBDT.Workers = c.Workers
+	}
+	if c.OPT.Workers == 0 {
+		c.OPT.Workers = c.Workers
+	}
+	if c.OPT.Obs == nil {
+		c.OPT.Obs = c.Obs
+	}
+	c.OPT.CacheSize = c.CacheSize
+	if c.AdmitterName == "" {
+		if c.Admitter == nil {
+			c.AdmitterName = "admit-all"
+		} else {
+			c.AdmitterName = "custom"
+		}
+	}
+	return c
+}
+
+// Cache pairs an admission strategy with an eviction strategy over one
+// byte-accurate store, and — when the evictor is learned — retrains the
+// eviction ranker from OPT labels every WindowSize requests, deploying
+// the new model atomically between requests. It implements sim.Policy.
+type Cache struct {
+	cfg     Config
+	store   *sim.Store[Meta]
+	evictor Evictor
+	learned *Learned // non-nil iff cfg.Eviction == "learned"
+
+	winReqs []trace.Request
+	windows int
+
+	m  metrics
+	cm cacheMetrics
+}
+
+// cacheMetrics are the cache-level handles (the eviction-side handles
+// live in metrics, shared with the evictors).
+type cacheMetrics struct {
+	requests *obs.Counter
+	hits     *obs.Counter
+	retrains *obs.Counter
+	optNS    *obs.Histogram
+	trainNS  *obs.Histogram
+}
+
+// New returns a combined admission×eviction cache.
+func New(cfg Config) (*Cache, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CacheSize <= 0 {
+		return nil, fmt.Errorf("evict: CacheSize must be positive, got %d", cfg.CacheSize)
+	}
+	if err := cfg.GBDT.Validate(); err != nil {
+		return nil, err
+	}
+	store := sim.NewStore[Meta](cfg.CacheSize)
+	ev, err := NewEvictor(cfg.Eviction, store, Options{
+		Candidates: cfg.Candidates,
+		Seed:       cfg.Seed,
+		Obs:        cfg.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:     cfg,
+		store:   store,
+		evictor: ev,
+		m:       newEvictMetrics(cfg.Obs),
+		cm: cacheMetrics{
+			requests: cfg.Obs.Counter("evict_cache_requests_total"),
+			hits:     cfg.Obs.Counter("evict_cache_hits_total"),
+			retrains: cfg.Obs.Counter("evict_cache_retrains_total"),
+			optNS:    cfg.Obs.Histogram("evict_retrain_opt_ns", obs.LatencyBounds),
+			trainNS:  cfg.Obs.Histogram("evict_retrain_train_ns", obs.LatencyBounds),
+		},
+	}
+	c.learned, _ = ev.(*Learned)
+	return c, nil
+}
+
+// Name implements sim.Policy.
+func (c *Cache) Name() string {
+	return c.cfg.AdmitterName + "+" + c.evictor.Name()
+}
+
+// Windows returns the number of completed eviction-ranker training
+// windows (always 0 for heuristic evictors).
+func (c *Cache) Windows() int { return c.windows }
+
+// Evictor returns the cache's eviction strategy.
+func (c *Cache) Evictor() Evictor { return c.evictor }
+
+// Request implements sim.Policy.
+func (c *Cache) Request(r trace.Request) bool {
+	c.cm.requests.Inc()
+	if c.learned != nil {
+		c.winReqs = append(c.winReqs, r)
+	}
+
+	hit := false
+	if e := c.store.Get(r.ID); e != nil {
+		hit = true
+		c.cm.hits.Inc()
+		c.evictor.OnHit(e, r)
+	} else if r.Size <= c.store.Capacity() {
+		ok := true
+		if c.cfg.Admitter != nil {
+			ok, _ = c.cfg.Admitter.Admit(r, c.store.Free())
+		}
+		if ok {
+			for !c.store.Fits(r.Size) {
+				id := c.evictor.Victim(r.Time)
+				e := c.store.Get(id)
+				c.m.observeVictim(e.Size)
+				c.evictor.OnRemove(e)
+				c.store.Remove(id)
+			}
+			e := c.store.Add(r.ID, r.Size)
+			c.evictor.OnAdmit(e, r)
+		}
+	}
+	if c.cfg.Admitter != nil {
+		c.cfg.Admitter.Observe(r)
+	}
+
+	if c.learned != nil && len(c.winReqs) >= c.cfg.WindowSize {
+		c.retrain()
+	}
+	return hit
+}
+
+// retrain labels the completed window with OPT and fits a fresh eviction
+// ranker, deploying it for the next window. Mirrors core's synchronous
+// window handoff; since only the ranker (not admission) trains here, the
+// round is a single solve plus a fit.
+func (c *Cache) retrain() {
+	win := &trace.Trace{Requests: c.winReqs}
+	sc := obs.Start(c.cm.optNS)
+	res, err := opt.Compute(win, c.cfg.OPT)
+	sc.Stop()
+	if err != nil {
+		panic(fmt.Sprintf("evict: OPT computation failed: %v", err))
+	}
+	sc = obs.Start(c.cm.trainNS)
+	model, err := Train(c.winReqs, res.Admit, c.cfg.GBDT)
+	sc.Stop()
+	if err != nil {
+		panic(fmt.Sprintf("evict: training failed: %v", err))
+	}
+	c.learned.SetModel(model)
+	c.winReqs = c.winReqs[:0]
+	c.windows++
+	c.cm.retrains.Inc()
+}

@@ -1,0 +1,197 @@
+// Package evict implements learned sampled-candidate eviction, closing
+// the admission×eviction loop around the paper's admission-only LFO.
+//
+// The design follows the minimal-overhead learned-eviction line of work
+// (Cold-RL; Yang/Berger/Li/Lloyd): instead of maintaining a total order
+// over residents, eviction draws K uniform candidates from the store's
+// dense entry index (O(K), allocation-free), scores them with a boosted-
+// tree ranker over lightweight per-object features (size, cost,
+// frequency, age, time-since-last-access), and evicts the minimum. The
+// ranker is trained from the same OPT window labels that train LFO's
+// admission model: an object OPT would not cache now is the ideal
+// eviction victim, so one offline solve per window labels both models.
+//
+// The package provides the Evictor strategy interface with learned, GDSF,
+// and LRU implementations over a shared Meta payload (so internal/core
+// can swap eviction mechanisms under LFO admission), plus a standalone
+// Cache that pairs any Admitter (admit-all, SecondHitCensor, ...) with
+// any Evictor and retrains the eviction ranker on the same window
+// cadence — the {admission}×{eviction} ablation grid's building block.
+package evict
+
+import (
+	"fmt"
+	"math"
+
+	"lfo/internal/gbdt"
+	"lfo/internal/obs"
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+// Dim is the eviction feature vector width: size, cost, frequency, age,
+// and idle time. The features are deliberately cheap — everything is
+// already in the entry's Meta, so building a candidate row is five
+// stores, no map lookups.
+const Dim = 5
+
+// Feature indices into an eviction row.
+const (
+	FeatSize = iota // object size in bytes
+	FeatCost        // retrieval cost at the last access
+	FeatFreq        // accesses during the current residency
+	FeatAge         // time since admission (trace time units)
+	FeatIdle        // time since last access
+)
+
+// DefaultCandidates is the sampled candidate set size K. 64 keeps one
+// PredictMatrix block per eviction (the flat kernel's batch-major walk is
+// sized in 64-row blocks) while sampling enough of the resident set that
+// the empirical victim quality is close to a full scan.
+const DefaultCandidates = 64
+
+// Meta is the per-object payload every evictor shares. The embedded
+// intrusive list links serve the LRU evictor; the scalar fields double as
+// the learned ranker's feature source.
+type Meta struct {
+	// AdmitTime is the trace time the object was admitted.
+	AdmitTime int64
+	// LastAccess is the trace time of the most recent hit (or admission).
+	LastAccess int64
+	// Freq counts accesses during the current residency (1 at admission).
+	Freq int64
+	// Cost is the retrieval cost observed at the last access.
+	Cost float64
+
+	prev, next *sim.StoreEntry[Meta] // intrusive LRU list
+}
+
+// featuresInto fills row (len >= Dim) with the entry's eviction features
+// at trace time now.
+func featuresInto(row []float64, size int64, m *Meta, now int64) {
+	row[FeatSize] = float64(size)
+	row[FeatCost] = m.Cost
+	row[FeatFreq] = float64(m.Freq)
+	row[FeatAge] = float64(now - m.AdmitTime)
+	row[FeatIdle] = float64(now - m.LastAccess)
+}
+
+// Evictor is an eviction strategy over a store of Meta payloads. The
+// owning cache calls the On* hooks as objects move through the store and
+// Victim when it must free space; implementations keep their auxiliary
+// state (heap, list, model) consistent through those hooks alone.
+type Evictor interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// OnAdmit initializes the entry's metadata right after Store.Add.
+	OnAdmit(e *sim.StoreEntry[Meta], r trace.Request)
+	// OnHit updates the entry's metadata on a cache hit.
+	OnHit(e *sim.StoreEntry[Meta], r trace.Request)
+	// OnRemove tears down the entry's metadata right before Store.Remove
+	// (called for ranked evictions and admission-driven drops alike).
+	OnRemove(e *sim.StoreEntry[Meta])
+	// Victim returns the object to evict next at trace time now. The
+	// store must be non-empty; Victim never fails.
+	Victim(now int64) trace.ObjectID
+	// SetModel deploys a trained eviction ranker. Only the learned
+	// evictor uses it; the heuristics ignore the call.
+	SetModel(m *gbdt.Model)
+}
+
+// NewEvictor constructs the named eviction strategy over the store.
+// Kinds: "learned" (sampled-candidate ranker), "gdsf", "lru".
+func NewEvictor(kind string, store *sim.Store[Meta], opts Options) (Evictor, error) {
+	switch kind {
+	case "learned":
+		return newLearned(store, opts), nil
+	case "gdsf":
+		return newGDSFEvictor(store), nil
+	case "lru":
+		return newLRUEvictor(store), nil
+	default:
+		return nil, fmt.Errorf("evict: unknown evictor %q (want learned, gdsf, or lru)", kind)
+	}
+}
+
+// Options tunes evictor construction.
+type Options struct {
+	// Candidates is the learned evictor's sample size K; 0 means
+	// DefaultCandidates.
+	Candidates int
+	// Seed seeds the learned evictor's candidate sampler.
+	Seed int64
+	// Obs, when set, records eviction metrics (ranker latency, candidate
+	// counts, victims by size tier, model swaps); nil disables recording
+	// at zero cost.
+	Obs *obs.Registry
+}
+
+// Victim size-tier boundaries for the victims-by-tier counters.
+const (
+	tierSmallMax  = 64 << 10 // < 64 KiB
+	tierMediumMax = 1 << 20  // < 1 MiB
+)
+
+// metrics bundles the package's obs handles, resolved once at
+// construction; all handles are nil-safe no-ops without a registry.
+type metrics struct {
+	rankNS         *obs.Histogram
+	candidates     *obs.Counter
+	candidateSets  *obs.Counter
+	bootstrapPicks *obs.Counter
+	victims        *obs.Counter
+	victimsSmall   *obs.Counter
+	victimsMedium  *obs.Counter
+	victimsLarge   *obs.Counter
+	modelSwaps     *obs.Counter
+}
+
+func newEvictMetrics(r *obs.Registry) metrics {
+	return metrics{
+		rankNS:         r.Histogram("evict_rank_ns", obs.LatencyBounds),
+		candidates:     r.Counter("evict_candidates_total"),
+		candidateSets:  r.Counter("evict_candidate_sets_total"),
+		bootstrapPicks: r.Counter("evict_bootstrap_picks_total"),
+		victims:        r.Counter("evict_victims_total"),
+		victimsSmall:   r.Counter("evict_victims_small_total"),
+		victimsMedium:  r.Counter("evict_victims_medium_total"),
+		victimsLarge:   r.Counter("evict_victims_large_total"),
+		modelSwaps:     r.Counter("evict_model_swaps_total"),
+	}
+}
+
+// observeVictim records one eviction in the total and size-tier counters.
+func (m *metrics) observeVictim(size int64) {
+	m.victims.Inc()
+	switch {
+	case size < tierSmallMax:
+		m.victimsSmall.Inc()
+	case size < tierMediumMax:
+		m.victimsMedium.Inc()
+	default:
+		m.victimsLarge.Inc()
+	}
+}
+
+// VictimMetrics is the exported victims-by-tier recorder for caches
+// outside this package that drive an Evictor directly (internal/core's
+// delegated eviction modes). It shares counter names with the package's
+// internal recording, so grid reports see one set of eviction metrics
+// regardless of which cache hosts the evictor.
+type VictimMetrics struct {
+	m metrics
+}
+
+// NewVictimMetrics resolves the victim counters against r (nil-safe).
+func NewVictimMetrics(r *obs.Registry) VictimMetrics {
+	return VictimMetrics{m: newEvictMetrics(r)}
+}
+
+// Observe records one eviction of the given size.
+func (v *VictimMetrics) Observe(size int64) {
+	v.m.observeVictim(size)
+}
+
+// nan is the missing-feature marker shared with internal/features: the
+// learner routes NaN down a learned default branch.
+var nan = math.NaN()

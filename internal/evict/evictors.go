@@ -1,0 +1,269 @@
+package evict
+
+import (
+	"lfo/internal/gbdt"
+	"lfo/internal/obs"
+	"lfo/internal/pq"
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+// Learned is the sampled-candidate learned evictor: Victim draws K
+// uniform candidates from the store's dense index, scores them with the
+// deployed ranker in one PredictMatrix call, and returns the minimum
+// (the object the model believes OPT is least likely to keep). Before
+// the first model deploys it falls back to sampled-LRU: the candidate
+// with the oldest LastAccess.
+//
+// All candidate buffers are preallocated at construction, so a pick is
+// allocation-free; the sampler is a seeded SplitMix64 stream, so victim
+// sequences are byte-reproducible for a given seed.
+type Learned struct {
+	store  *sim.Store[Meta]
+	model  *gbdt.Model
+	k      int
+	rng    uint64
+	rows   []float64
+	scores []float64
+	cands  []*sim.StoreEntry[Meta]
+	m      metrics
+}
+
+func newLearned(store *sim.Store[Meta], opts Options) *Learned {
+	k := opts.Candidates
+	if k <= 0 {
+		k = DefaultCandidates
+	}
+	return &Learned{
+		store:  store,
+		k:      k,
+		rng:    uint64(opts.Seed),
+		rows:   make([]float64, k*Dim),
+		scores: make([]float64, k),
+		cands:  make([]*sim.StoreEntry[Meta], k),
+		m:      newEvictMetrics(opts.Obs),
+	}
+}
+
+// Name implements Evictor.
+func (l *Learned) Name() string { return "learned" }
+
+// OnAdmit implements Evictor.
+func (l *Learned) OnAdmit(e *sim.StoreEntry[Meta], r trace.Request) {
+	e.Payload = Meta{AdmitTime: r.Time, LastAccess: r.Time, Freq: 1, Cost: r.Cost}
+}
+
+// OnHit implements Evictor.
+func (l *Learned) OnHit(e *sim.StoreEntry[Meta], r trace.Request) {
+	e.Payload.LastAccess = r.Time
+	e.Payload.Freq++
+	e.Payload.Cost = r.Cost
+}
+
+// OnRemove implements Evictor.
+func (l *Learned) OnRemove(e *sim.StoreEntry[Meta]) {}
+
+// SetModel deploys a trained eviction ranker. The swap is atomic with
+// respect to requests (the owning cache is single-threaded), so every
+// subsequent Victim ranks with the new model.
+func (l *Learned) SetModel(m *gbdt.Model) {
+	l.model = m
+	l.m.modelSwaps.Inc()
+}
+
+// Model returns the deployed ranker (nil during bootstrap).
+func (l *Learned) Model() *gbdt.Model { return l.model }
+
+// Victim implements Evictor: the observability wrapper around the
+// annotated zero-allocation pick.
+func (l *Learned) Victim(now int64) trace.ObjectID {
+	sc := obs.Start(l.m.rankNS)
+	id, n := l.pickVictim(now)
+	sc.Stop()
+	l.m.candidateSets.Inc()
+	l.m.candidates.Add(int64(n))
+	if l.model == nil {
+		l.m.bootstrapPicks.Inc()
+	}
+	return id
+}
+
+// pickVictim samples min(K, Len) candidates with replacement and returns
+// the lowest-scored one (first-wins on ties, so results are independent
+// of scoring order). This is the per-eviction hot path: no map lookups,
+// no allocation — candidate rows are built straight from entry metadata
+// and scored with the flat kernel's batch-major walk at workers=1.
+//
+//lfo:hotpath
+func (l *Learned) pickVictim(now int64) (trace.ObjectID, int) {
+	n := l.k
+	resident := l.store.Len()
+	if resident <= n {
+		// Small resident set: scan it exhaustively instead of sampling
+		// with replacement (which could repeat entries and miss the true
+		// minimum). The pick is then exact, not approximate.
+		n = resident
+		for i := 0; i < n; i++ {
+			e := l.store.At(i)
+			l.cands[i] = e
+			featuresInto(l.rows[i*Dim:(i+1)*Dim], e.Size, &e.Payload, now)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			e := l.store.At(l.intn(resident))
+			l.cands[i] = e
+			featuresInto(l.rows[i*Dim:(i+1)*Dim], e.Size, &e.Payload, now)
+		}
+	}
+	best := 0
+	if l.model == nil {
+		// Bootstrap: sampled-LRU (oldest last access wins).
+		for i := 1; i < n; i++ {
+			if l.cands[i].Payload.LastAccess < l.cands[best].Payload.LastAccess {
+				best = i
+			}
+		}
+		return l.cands[best].ID, n
+	}
+	l.model.PredictMatrix(l.rows[:n*Dim], l.scores[:n], 1)
+	for i := 1; i < n; i++ {
+		if l.scores[i] < l.scores[best] {
+			best = i
+		}
+	}
+	return l.cands[best].ID, n
+}
+
+// next advances the SplitMix64 stream (same mixer as the fleet ring).
+//
+//lfo:hotpath
+func (l *Learned) next() uint64 {
+	l.rng += 0x9E3779B97F4A7C15
+	x := l.rng
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// intn returns a uniform-ish index in [0, n); the modulo bias is
+// negligible against 64-bit outputs and irrelevant for victim sampling.
+//
+//lfo:hotpath
+func (l *Learned) intn(n int) int {
+	return int(l.next() % uint64(n))
+}
+
+// gdsfEvictor is Greedy-Dual-Size-Frequency over Meta: priority
+// age + freq*cost/size, evicting the minimum and aging to the evicted
+// priority. It mirrors internal/policy's GDSF exactly (same priorities,
+// same deterministic tie-breaks), so the standalone policy and the
+// combined cache agree byte-for-byte.
+type gdsfEvictor struct {
+	store *sim.Store[Meta]
+	q     *pq.Queue
+	age   float64
+}
+
+func newGDSFEvictor(store *sim.Store[Meta]) *gdsfEvictor {
+	return &gdsfEvictor{store: store, q: pq.New()}
+}
+
+func (g *gdsfEvictor) Name() string { return "gdsf" }
+
+func (g *gdsfEvictor) priority(m *Meta, size int64) float64 {
+	return g.age + float64(m.Freq)*m.Cost/float64(size)
+}
+
+func (g *gdsfEvictor) OnAdmit(e *sim.StoreEntry[Meta], r trace.Request) {
+	e.Payload = Meta{AdmitTime: r.Time, LastAccess: r.Time, Freq: 1, Cost: r.Cost}
+	g.q.Push(e.ID, g.priority(&e.Payload, e.Size))
+}
+
+func (g *gdsfEvictor) OnHit(e *sim.StoreEntry[Meta], r trace.Request) {
+	e.Payload.LastAccess = r.Time
+	e.Payload.Freq++
+	e.Payload.Cost = r.Cost
+	g.q.Update(e.ID, g.priority(&e.Payload, e.Size))
+}
+
+func (g *gdsfEvictor) OnRemove(e *sim.StoreEntry[Meta]) {
+	g.q.Remove(e.ID)
+}
+
+func (g *gdsfEvictor) Victim(now int64) trace.ObjectID {
+	id, key := g.q.Min()
+	g.age = key // dynamic aging: L := key of the evicted object
+	return id
+}
+
+func (g *gdsfEvictor) SetModel(m *gbdt.Model) {}
+
+// lruEvictor threads an intrusive recency list through the Meta links.
+type lruEvictor struct {
+	store      *sim.Store[Meta]
+	head, tail *sim.StoreEntry[Meta]
+}
+
+func newLRUEvictor(store *sim.Store[Meta]) *lruEvictor {
+	return &lruEvictor{store: store}
+}
+
+func (l *lruEvictor) Name() string { return "lru" }
+
+func (l *lruEvictor) OnAdmit(e *sim.StoreEntry[Meta], r trace.Request) {
+	e.Payload = Meta{AdmitTime: r.Time, LastAccess: r.Time, Freq: 1, Cost: r.Cost}
+	l.pushFront(e)
+}
+
+func (l *lruEvictor) OnHit(e *sim.StoreEntry[Meta], r trace.Request) {
+	e.Payload.LastAccess = r.Time
+	e.Payload.Freq++
+	e.Payload.Cost = r.Cost
+	l.moveToFront(e)
+}
+
+func (l *lruEvictor) OnRemove(e *sim.StoreEntry[Meta]) {
+	l.remove(e)
+}
+
+func (l *lruEvictor) Victim(now int64) trace.ObjectID {
+	return l.tail.ID
+}
+
+func (l *lruEvictor) SetModel(m *gbdt.Model) {}
+
+func (l *lruEvictor) pushFront(e *sim.StoreEntry[Meta]) {
+	e.Payload.prev = nil
+	e.Payload.next = l.head
+	if l.head != nil {
+		l.head.Payload.prev = e
+	} else {
+		l.tail = e
+	}
+	l.head = e
+}
+
+func (l *lruEvictor) remove(e *sim.StoreEntry[Meta]) {
+	if e.Payload.prev != nil {
+		e.Payload.prev.Payload.next = e.Payload.next
+	} else {
+		l.head = e.Payload.next
+	}
+	if e.Payload.next != nil {
+		e.Payload.next.Payload.prev = e.Payload.prev
+	} else {
+		l.tail = e.Payload.prev
+	}
+	e.Payload.prev, e.Payload.next = nil, nil
+}
+
+func (l *lruEvictor) moveToFront(e *sim.StoreEntry[Meta]) {
+	if l.head == e {
+		return
+	}
+	l.remove(e)
+	l.pushFront(e)
+}

@@ -1,0 +1,62 @@
+package evict
+
+import (
+	"lfo/internal/gbdt"
+	"lfo/internal/trace"
+)
+
+// BuildDataset turns one labeled trace window into an eviction training
+// set: one row per request, carrying the eviction features the ranker
+// would see for that object at that moment, labeled with OPT's decision
+// (1 = OPT caches the object here, so it is a poor victim; 0 = OPT does
+// not, the ideal victim). This is the same label stream LFO's admission
+// model trains on — one offline solve supervises both models.
+//
+// Features are reconstructed by replaying the window against per-object
+// state, mirroring what the online Meta would hold: frequency counts the
+// object's requests so far in the window (+1 for the current one, as a
+// resident's Freq includes its admission), age and idle time measure
+// back to the window-local first and most recent request. First-seen
+// objects have no history, so age and idle are the missing-value marker
+// (NaN), which the learner routes down a default branch — exactly how
+// internal/features marks unknown inter-arrival gaps.
+func BuildDataset(reqs []trace.Request, admit []bool) *gbdt.Dataset {
+	if len(admit) < len(reqs) {
+		panic("evict: label slice shorter than request window")
+	}
+	type state struct {
+		first int64
+		last  int64
+		count int64
+	}
+	seen := make(map[trace.ObjectID]state, len(reqs)/4+1)
+	rows := make([]float64, len(reqs)*Dim)
+	labels := make([]float64, len(reqs))
+	for i, r := range reqs {
+		row := rows[i*Dim : (i+1)*Dim]
+		s, ok := seen[r.ID]
+		row[FeatSize] = float64(r.Size)
+		row[FeatCost] = r.Cost
+		row[FeatFreq] = float64(s.count + 1)
+		if ok {
+			row[FeatAge] = float64(r.Time - s.first)
+			row[FeatIdle] = float64(r.Time - s.last)
+		} else {
+			s.first = r.Time
+			row[FeatAge] = nan
+			row[FeatIdle] = nan
+		}
+		s.last = r.Time
+		s.count++
+		seen[r.ID] = s
+		if admit[i] {
+			labels[i] = 1
+		}
+	}
+	return gbdt.DatasetFromMatrix(Dim, rows, labels)
+}
+
+// Train fits an eviction ranker from one OPT-labeled window.
+func Train(reqs []trace.Request, admit []bool, params gbdt.Params) (*gbdt.Model, error) {
+	return gbdt.Train(BuildDataset(reqs, admit), params)
+}

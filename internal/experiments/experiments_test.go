@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"runtime"
 	"strings"
 	"testing"
@@ -363,4 +364,71 @@ func TestRobustness(t *testing.T) {
 		t.Errorf("LFO degradation %.3f >= LRU %.3f under scans", lfo.Degradation, lru.Degradation)
 	}
 	RobustnessTable(rs)
+}
+
+func TestEvictionGridDeterministicAcrossWorkers(t *testing.T) {
+	cfg := quick(t)
+	cfg.Requests = 12000
+	cfg.Window = 4000
+	cfg.CacheSize = 8 << 20
+	run := func(workers int) []EvictionGridResult {
+		c := cfg
+		c.Workers = workers
+		rs, err := EvictionGrid(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	a, b, c := run(1), run(1), run(2)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("grid differs across reruns")
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Error("grid differs across worker counts")
+	}
+	if len(a) != 27 {
+		t.Fatalf("cells = %d, want 27", len(a))
+	}
+	for _, r := range a {
+		if r.BHR <= 0 || r.BHR >= 1 {
+			t.Errorf("%s/%s/%s: BHR %.4f degenerate", r.Scenario, r.Admission, r.Eviction, r.BHR)
+		}
+	}
+	EvictionGridTable(a)
+}
+
+// TestEvictionGridLearnedBeatsGDSFUnderDrift pins the tentpole's payoff:
+// on at least one drift scenario, learned eviction matches or beats GDSF
+// at equal admission. (At full scale the learned evictor wins every
+// cdn-drift admission row; see EXPERIMENTS.md.)
+func TestEvictionGridLearnedBeatsGDSFUnderDrift(t *testing.T) {
+	cfg := quick(t)
+	cfg.Requests = 20000
+	cfg.Window = 5000
+	cfg.CacheSize = 8 << 20
+	rs, err := EvictionGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(sc, adm, ev string) float64 {
+		for _, r := range rs {
+			if r.Scenario == sc && r.Admission == adm && r.Eviction == ev {
+				return r.BHR
+			}
+		}
+		t.Fatalf("missing cell %s/%s/%s", sc, adm, ev)
+		return 0
+	}
+	won := false
+	for _, sc := range []string{"cdn-drift", "reshuffle"} {
+		for _, adm := range gridAdmissions {
+			if cell(sc, adm, "learned") >= cell(sc, adm, "gdsf") {
+				won = true
+			}
+		}
+	}
+	if !won {
+		t.Error("learned eviction lost to GDSF on every drift cell")
+	}
 }

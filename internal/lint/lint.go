@@ -98,6 +98,7 @@ var DeterministicCore = []string{
 	"internal/opt",
 	"internal/mcf",
 	"internal/core",
+	"internal/evict",
 	"internal/experiments",
 	"internal/features",
 }

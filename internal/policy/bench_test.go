@@ -1,0 +1,37 @@
+package policy
+
+import (
+	"testing"
+
+	"lfo/internal/trace"
+)
+
+// BenchmarkGDSFRequest drives GDSF at steady-state eviction churn: every
+// request is a miss that evicts one resident and admits the newcomer, the
+// worst case for per-admission allocation. With the value-typed payload
+// and the store/pq freelists this path is allocation-free; the budget is
+// pinned at 0 in testdata/alloc_budgets.txt.
+func BenchmarkGDSFRequest(b *testing.B) {
+	const (
+		capacity = 1 << 16 // 64 resident objects of 1 KiB
+		objSize  = 1 << 10
+		universe = 256 // 4x capacity: sequential cycling never hits
+	)
+	p := NewGDSF(capacity)
+	reqs := make([]trace.Request, universe)
+	for i := range reqs {
+		reqs[i] = trace.Request{Time: int64(i), ID: trace.ObjectID(i), Size: objSize, Cost: 1}
+	}
+	// Warm through the whole universe twice so the store and pq freelists
+	// and map buckets reach their steady-state footprint.
+	for round := 0; round < 2; round++ {
+		for _, r := range reqs {
+			p.Request(r)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Request(reqs[i%universe])
+	}
+}

@@ -50,11 +50,14 @@ func (p *LFUDA) Request(r trace.Request) bool {
 // evicted priority. With C_i = S_i this favors frequency; with C_i = 1 it
 // favors small objects (the classic OHR-optimizing configuration).
 type GDSF struct {
-	store *sim.Store[*gdsfMeta]
+	store *sim.Store[gdsfMeta]
 	pq    *pq.Queue
 	age   float64
 }
 
+// gdsfMeta is stored by value in the entry payload: the store's entry
+// freelist then recycles it with the entry, keeping admissions free of
+// per-object metadata allocations.
 type gdsfMeta struct {
 	freq int64
 	cost float64
@@ -62,13 +65,13 @@ type gdsfMeta struct {
 
 // NewGDSF returns a Greedy-Dual-Size-Frequency cache.
 func NewGDSF(capacity int64) *GDSF {
-	return &GDSF{store: sim.NewStore[*gdsfMeta](capacity), pq: pq.New()}
+	return &GDSF{store: sim.NewStore[gdsfMeta](capacity), pq: pq.New()}
 }
 
 // Name implements sim.Policy.
 func (p *GDSF) Name() string { return "GDSF" }
 
-func (p *GDSF) priority(m *gdsfMeta, size int64) float64 {
+func (p *GDSF) priority(m gdsfMeta, size int64) float64 {
 	return p.age + float64(m.freq)*m.cost/float64(size)
 }
 
@@ -89,7 +92,7 @@ func (p *GDSF) Request(r trace.Request) bool {
 		p.store.Remove(id)
 	}
 	e := p.store.Add(r.ID, r.Size)
-	e.Payload = &gdsfMeta{freq: 1, cost: r.Cost}
+	e.Payload = gdsfMeta{freq: 1, cost: r.Cost}
 	p.pq.Push(r.ID, p.priority(e.Payload, r.Size))
 	return false
 }

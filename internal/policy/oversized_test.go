@@ -1,0 +1,79 @@
+package policy
+
+import (
+	"testing"
+
+	"lfo/internal/trace"
+)
+
+// TestOversizedObjectRejectedByAllPolicies feeds every registered policy a
+// request larger than the cache and pins the required guard: the policy
+// must return a miss without touching its eviction loop. A policy missing
+// the `r.Size > capacity` check either panics in Store.Add or spins
+// evicting a cache that can never fit the object.
+func TestOversizedObjectRejectedByAllPolicies(t *testing.T) {
+	const capacity = 1 << 20
+	oversized := trace.Request{ID: 1 << 40, Size: capacity + 1, Cost: 1}
+
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			p, err := New(name, capacity, 1)
+			if err != nil {
+				t.Fatalf("New(%q): %v", name, err)
+			}
+
+			// The hardest case first: an oversized request against an empty
+			// cache, where a broken eviction loop has nothing to evict.
+			if p.Request(oversized) {
+				t.Error("oversized request against empty cache reported a hit")
+			}
+
+			// Warm the cache with admissible objects, then retry — the
+			// guard must also fire before evicting resident objects.
+			for i := 0; i < 64; i++ {
+				r := trace.Request{Time: int64(i), ID: trace.ObjectID(i), Size: 32 << 10, Cost: 1}
+				p.Request(r)
+				p.Request(r)
+			}
+			oversized.Time = 64
+			if p.Request(oversized) {
+				t.Error("oversized request against warm cache reported a hit")
+			}
+
+			// The policy must still function afterwards: a small object
+			// requested repeatedly must eventually hit (probabilistic and
+			// doorkeeper admissions need a few tries, so allow many).
+			hot := trace.Request{ID: 1 << 41, Size: 1 << 10, Cost: 1}
+			hits := 0
+			for i := 0; i < 200; i++ {
+				hot.Time = int64(65 + i)
+				if p.Request(hot) {
+					hits++
+				}
+			}
+			if hits == 0 {
+				t.Error("hot object never hit after oversized request")
+			}
+		})
+	}
+}
+
+// TestOversizedEqualToCapacityAdmits pins the boundary: an object of
+// exactly the capacity is admissible, not oversized.
+func TestOversizedEqualToCapacityAdmits(t *testing.T) {
+	const capacity = 1 << 20
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			p, err := New(name, capacity, 1)
+			if err != nil {
+				t.Fatalf("New(%q): %v", name, err)
+			}
+			r := trace.Request{ID: 7, Size: capacity, Cost: 1}
+			p.Request(r)
+			r.Time = 1
+			if !p.Request(r) {
+				t.Skipf("policy %s declined a capacity-sized object (allowed, but not a hit)", name)
+			}
+		})
+	}
+}

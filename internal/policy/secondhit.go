@@ -61,12 +61,19 @@ func (p *SecondHitCensor) Admit(r trace.Request, freeBytes int64) (bool, float64
 
 // Observe records the request in the current generation, rotating
 // generations when the bound is reached.
+//
+// The insert lands before the rotation check: rotating first would let a
+// single brand-new ID arriving at a full generation discard the previous
+// generation immediately and then seed a near-empty current one, so a
+// burst of one-hit wonders could flush the admission history the moment
+// it started. Inserting first means a rotation only happens once a full
+// generation of maxIDs distinct IDs has accumulated — the triggering ID
+// is retained with the generation it arrived in, and the remembered set
+// provably stays between maxIDs and 2×maxIDs distinct objects.
 func (p *SecondHitCensor) Observe(r trace.Request) {
-	if p.maxIDs > 0 && len(p.cur) >= p.maxIDs {
-		if _, ok := p.cur[r.ID]; !ok {
-			p.prev = p.cur
-			p.cur = make(map[trace.ObjectID]struct{}, p.maxIDs)
-		}
-	}
 	p.cur[r.ID] = struct{}{}
+	if p.maxIDs > 0 && len(p.cur) >= p.maxIDs {
+		p.prev = p.cur
+		p.cur = make(map[trace.ObjectID]struct{}, p.maxIDs)
+	}
 }

@@ -60,6 +60,63 @@ func TestSecondHitCensorRepeatsDoNotRotate(t *testing.T) {
 	}
 }
 
+// remembered counts the distinct IDs across both generations.
+func (p *SecondHitCensor) remembered() int {
+	n := len(p.prev)
+	for id := range p.cur {
+		if _, ok := p.prev[id]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSecondHitCensorMemoryBound pins the documented invariant: once the
+// first generation has filled, the censor remembers between maxIDs and
+// 2×maxIDs distinct objects at every step of an all-distinct stream.
+func TestSecondHitCensorMemoryBound(t *testing.T) {
+	const maxIDs = 8
+	p := NewSecondHitCensor(maxIDs)
+	for id := trace.ObjectID(1); id <= 10*maxIDs; id++ {
+		p.Observe(shReq(id))
+		if n := p.remembered(); int(id) >= maxIDs && (n < maxIDs || n > 2*maxIDs) {
+			t.Fatalf("after %d distinct observes: remembered %d IDs, want in [%d, %d]",
+				id, n, maxIDs, 2*maxIDs)
+		}
+	}
+}
+
+// TestSecondHitCensorBurstRetention pins the rotation-order fix: a
+// rotation must happen only after the triggering insert lands, so every
+// observed ID survives at least maxIDs subsequent distinct-new observes.
+// With the old rotate-before-insert order, a single brand-new ID arriving
+// at a full current generation dropped the previous generation
+// immediately — the new ID "bought" its slot by flushing history.
+func TestSecondHitCensorBurstRetention(t *testing.T) {
+	const maxIDs = 8
+	for offset := 0; offset < maxIDs; offset++ {
+		p := NewSecondHitCensor(maxIDs)
+		// Position the victim ID at every possible phase of a generation.
+		var next trace.ObjectID = 1
+		for i := 0; i < offset; i++ {
+			p.Observe(shReq(next))
+			next++
+		}
+		victim := next
+		p.Observe(shReq(victim))
+		next++
+		// A burst of maxIDs-1 distinct one-hit wonders must not evict it.
+		for i := 0; i < maxIDs-1; i++ {
+			p.Observe(shReq(next))
+			next++
+			if ok, _ := p.Admit(shReq(victim), 0); !ok {
+				t.Fatalf("offset %d: victim forgotten after %d distinct observes, want >= %d",
+					offset, i+1, maxIDs-1)
+			}
+		}
+	}
+}
+
 func TestSecondHitCensorUnbounded(t *testing.T) {
 	p := NewSecondHitCensor(-1)
 	for id := trace.ObjectID(0); id < 1000; id++ {

@@ -25,6 +25,9 @@ type Queue struct {
 	items []*entry
 	byID  map[trace.ObjectID]*entry
 	seq   uint64
+	// removed entries recycled by Push; bounds steady-state allocation to
+	// the peak queue length instead of one allocation per admission.
+	free []*entry
 }
 
 // New returns an empty queue.
@@ -40,8 +43,15 @@ func (q *Queue) Push(id trace.ObjectID, prio float64) {
 		panic(fmt.Sprintf("pq: Queue duplicate id %d", id))
 	}
 	q.seq++
-	//lfolint:ignore hotpath-alloc one small entry per admission; bounded by the admission rate, not the request rate
-	e := &entry{id: id, prio: prio, tie: q.seq, index: len(q.items)}
+	var e *entry
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free = q.free[:n-1]
+		e.id, e.prio, e.tie, e.index = id, prio, q.seq, len(q.items)
+	} else {
+		//lfolint:ignore hotpath-alloc freelist miss: one entry per new peak queue length, recycled forever after
+		e = &entry{id: id, prio: prio, tie: q.seq, index: len(q.items)}
+	}
 	//lfolint:ignore hotpath-alloc heap storage grows to the peak resident count, then stays
 	q.items = append(q.items, e)
 	q.byID[id] = e
@@ -99,6 +109,10 @@ func (q *Queue) removeAt(i int) {
 	q.swap(i, last)
 	q.items = q.items[:last]
 	delete(q.byID, e.id)
+	// Recycle the entry. Its fields stay intact until the next Push, so
+	// PopMin may still read id/prio after this returns.
+	//lfolint:ignore hotpath-alloc freelist backing array grows to the peak queue length, then recycles
+	q.free = append(q.free, e)
 	if i < last {
 		q.down(i)
 		q.up(i)

@@ -20,6 +20,11 @@ type Store[T any] struct {
 	capacity int64
 	used     int64
 	entries  map[trace.ObjectID]*StoreEntry[T]
+	// dense holds every resident entry in arbitrary but deterministic
+	// order (insertion order with swap-with-last deletion), giving O(1)
+	// allocation-free uniform sampling via At. It is exactly the resident
+	// set: len(dense) == Len().
+	dense []*StoreEntry[T]
 	// freed entries recycled by Add; bounds steady-state allocation to the
 	// peak resident count instead of one allocation per admission.
 	free []*StoreEntry[T]
@@ -30,6 +35,7 @@ type StoreEntry[T any] struct {
 	ID      trace.ObjectID
 	Size    int64
 	Payload T
+	dense   int // index into Store.dense, maintained by Add/Remove
 }
 
 // NewStore returns an empty store with the given capacity in bytes.
@@ -84,6 +90,9 @@ func (s *Store[T]) Add(id trace.ObjectID, size int64) *StoreEntry[T] {
 		//lfolint:ignore hotpath-alloc freelist miss: one entry per new peak-resident object, recycled forever after
 		e = &StoreEntry[T]{ID: id, Size: size}
 	}
+	e.dense = len(s.dense)
+	//lfolint:ignore hotpath-alloc dense index backing array grows to the peak resident count, then recycles
+	s.dense = append(s.dense, e)
 	s.entries[id] = e
 	s.used += size
 	return e
@@ -97,9 +106,24 @@ func (s *Store[T]) Remove(id trace.ObjectID) {
 	}
 	delete(s.entries, id)
 	s.used -= e.Size
+	// Swap-with-last keeps the dense index compact in O(1).
+	last := len(s.dense) - 1
+	if e.dense != last {
+		moved := s.dense[last]
+		s.dense[e.dense] = moved
+		moved.dense = e.dense
+	}
+	s.dense = s.dense[:last]
 	//lfolint:ignore hotpath-alloc freelist backing array grows to the peak resident count, then recycles
 	s.free = append(s.free, e)
 }
+
+// At returns the i-th resident entry in the store's dense index,
+// 0 <= i < Len(). The order is deterministic (insertion order perturbed
+// by swap-with-last deletion) but otherwise unspecified; it exists so
+// sampled-eviction policies can draw uniform candidates in O(1) without
+// allocating. The entry is only valid until the object is removed.
+func (s *Store[T]) At(i int) *StoreEntry[T] { return s.dense[i] }
 
 // Fits reports whether an object of the given size could be admitted
 // without eviction.

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+
+	"lfo/internal/trace"
+)
+
+// invariantTrace builds n requests with a mix of repeats (so hits, misses,
+// varying sizes and costs all occur) without any policy randomness.
+func invariantTrace(n int) *trace.Trace {
+	tr := &trace.Trace{Requests: make([]trace.Request, 0, n)}
+	for i := 0; i < n; i++ {
+		id := trace.ObjectID(i % 7)
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time: int64(i),
+			ID:   id,
+			Size: int64(id)*13 + 5,
+			Cost: float64(id%3) + 0.5,
+		})
+	}
+	return tr
+}
+
+// TestRunWindowTotalsInvariant pins the partition property: summing every
+// WindowMetrics field over m.Windows must reproduce the run totals exactly,
+// for aligned and non-aligned warmup/window combinations. A stale `cur`
+// pointer (e.g. after a Windows reallocation) would silently break this.
+func TestRunWindowTotalsInvariant(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		warmup int
+		window int
+	}{
+		{"aligned", 120, 0, 10},
+		{"aligned with warmup", 120, 20, 10},
+		{"partial last window", 100, 0, 16},
+		{"non-aligned warmup", 100, 7, 16},
+		{"window larger than run", 50, 0, 64},
+		{"window larger than measured", 50, 30, 64},
+		{"warmup equals length", 40, 40, 8},
+		{"warmup exceeds length", 40, 55, 8},
+		{"single-request windows", 33, 5, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := Run(invariantTrace(tc.n), &admitAll{}, Options{Warmup: tc.warmup, WindowSize: tc.window})
+
+			var w WindowMetrics
+			for _, win := range m.Windows {
+				w.Requests += win.Requests
+				w.Hits += win.Hits
+				w.ReqBytes += win.ReqBytes
+				w.HitBytes += win.HitBytes
+				w.MissCost += win.MissCost
+			}
+			if w.Requests != m.Requests {
+				t.Errorf("window Requests sum %d != total %d", w.Requests, m.Requests)
+			}
+			if w.Hits != m.Hits {
+				t.Errorf("window Hits sum %d != total %d", w.Hits, m.Hits)
+			}
+			if w.ReqBytes != m.ReqBytes {
+				t.Errorf("window ReqBytes sum %d != total %d", w.ReqBytes, m.ReqBytes)
+			}
+			if w.HitBytes != m.HitBytes {
+				t.Errorf("window HitBytes sum %d != total %d", w.HitBytes, m.HitBytes)
+			}
+			if w.MissCost != m.MissCost {
+				t.Errorf("window MissCost sum %g != total %g", w.MissCost, m.MissCost)
+			}
+
+			measured := tc.n - tc.warmup
+			if measured < 0 {
+				measured = 0
+			}
+			wantWindows := 0
+			if measured > 0 {
+				wantWindows = (measured + tc.window - 1) / tc.window
+			}
+			if len(m.Windows) != wantWindows {
+				t.Errorf("len(Windows) = %d, want %d", len(m.Windows), wantWindows)
+			}
+			// Every window except the last holds exactly WindowSize requests.
+			for i, win := range m.Windows[:max(0, len(m.Windows)-1)] {
+				if win.Requests != tc.window {
+					t.Errorf("window %d Requests = %d, want %d", i, win.Requests, tc.window)
+				}
+			}
+		})
+	}
+}
+
+// TestRunWindowsNoRealloc pins that the Windows pre-allocation is exact:
+// Run appends exactly cap(Windows) windows, so the slice never reallocates
+// and the internal `cur` pointer (which points into the slice) stays valid.
+func TestRunWindowsNoRealloc(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		n      int
+		warmup int
+		window int
+	}{
+		{"aligned", 96, 0, 8},
+		{"non-aligned", 100, 7, 16},
+		{"warmup only partially windowed", 64, 33, 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := Run(invariantTrace(tc.n), &admitAll{}, Options{Warmup: tc.warmup, WindowSize: tc.window})
+			if len(m.Windows) == 0 {
+				t.Fatal("no windows recorded")
+			}
+			if len(m.Windows) != cap(m.Windows) {
+				t.Errorf("len(Windows) = %d, cap = %d: pre-allocation is not exact, append may reallocate",
+					len(m.Windows), cap(m.Windows))
+			}
+		})
+	}
+}
+
+// TestStoreDenseIndex exercises At across adds and swap-with-last removes:
+// the dense index must always enumerate exactly the resident set.
+func TestStoreDenseIndex(t *testing.T) {
+	s := NewStore[int](1000)
+	check := func(want ...trace.ObjectID) {
+		t.Helper()
+		if s.Len() != len(want) {
+			t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+		}
+		got := make(map[trace.ObjectID]bool, s.Len())
+		for i := 0; i < s.Len(); i++ {
+			e := s.At(i)
+			if e == nil {
+				t.Fatalf("At(%d) = nil", i)
+			}
+			if got[e.ID] {
+				t.Fatalf("At enumerates object %d twice", e.ID)
+			}
+			got[e.ID] = true
+			if s.Get(e.ID) != e {
+				t.Fatalf("At(%d) and Get(%d) disagree", i, e.ID)
+			}
+		}
+		for _, id := range want {
+			if !got[id] {
+				t.Fatalf("dense index missing resident object %d", id)
+			}
+		}
+	}
+
+	for id := trace.ObjectID(1); id <= 5; id++ {
+		s.Add(id, 10)
+	}
+	check(1, 2, 3, 4, 5)
+
+	s.Remove(3) // middle: swap-with-last moves 5 into slot 2
+	check(1, 2, 4, 5)
+	s.Remove(5) // tail
+	check(1, 2, 4)
+	s.Remove(1) // head
+	check(2, 4)
+
+	// Recycled entries must get fresh dense slots.
+	s.Add(6, 10)
+	s.Add(7, 10)
+	check(2, 4, 6, 7)
+	// Drain completely and rebuild.
+	for _, id := range []trace.ObjectID{2, 4, 6, 7} {
+		s.Remove(id)
+	}
+	check()
+	s.Add(9, 500)
+	check(9)
+	if s.At(0).Size != 500 {
+		t.Errorf("At(0).Size = %d, want 500", s.At(0).Size)
+	}
+}

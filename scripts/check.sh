@@ -36,7 +36,7 @@ step "go test -race (concurrent packages)"
 go test -race ./internal/server ./internal/fleet ./internal/faultnet \
     ./internal/tiered ./internal/sim ./internal/par ./internal/pq \
     ./internal/gbdt ./internal/features ./internal/core ./internal/opt \
-    ./internal/mcf ./internal/obs
+    ./internal/mcf ./internal/obs ./internal/evict
 
 # Coverage floors on the serving path: the chaos/fuzz suites are the
 # main guard on these packages, so a silent drop in what they exercise
@@ -58,6 +58,7 @@ step "go test -cover floors"
 cover_floor ./internal/server 85
 cover_floor ./internal/fleet 80
 cover_floor ./internal/faultnet 70
+cover_floor ./internal/evict 80
 
 # Alloc-budget regression gate over the pinned hot-path benchmarks. The
 # budgets in testdata/alloc_budgets.txt are exact current figures; any
@@ -79,8 +80,8 @@ fi
 
 step "alloc budgets"
 go test -run '^$' \
-    -bench '^(BenchmarkPredict|BenchmarkFlatPredict|BenchmarkPredictBatch|BenchmarkPredictMatrix|BenchmarkRunRequestLoop|BenchmarkRequestObs|BenchmarkRouterEnqueueFlush)$' \
-    -benchmem -benchtime 200x ./internal/gbdt ./internal/sim ./internal/obs ./internal/fleet \
+    -bench '^(BenchmarkPredict|BenchmarkFlatPredict|BenchmarkPredictBatch|BenchmarkPredictMatrix|BenchmarkRunRequestLoop|BenchmarkRequestObs|BenchmarkRouterEnqueueFlush|BenchmarkPickVictim|BenchmarkGDSFRequest)$' \
+    -benchmem -benchtime 200x ./internal/gbdt ./internal/sim ./internal/obs ./internal/fleet ./internal/evict ./internal/policy \
     | awk -v budgets=testdata/alloc_budgets.txt -f scripts/allocgate.awk
 
 # Short fuzz smoke over the frame codec and the model parser. The
