@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure: 1, 5a, 5b, 5c, 6, 7, 8, acc, evict, tiered, robust, ablate, or all")
+		fig     = flag.String("fig", "all", "figure: 1, 5a, 5b, 5c, 6, 7, 8, acc, evict, drift, tiered, robust, ablate, or all")
 		scale   = flag.String("scale", "default", "harness scale: quick or default")
 		seeds   = flag.Int("seeds", 100, "seed count for Fig 5c")
 		repeats = flag.Int("repeats", 3, "subset repeats for Fig 5b")
@@ -158,6 +158,14 @@ func main() {
 		fmt.Print(experiments.EvictionGridTable(rs))
 		return nil
 	})
+	run([]string{"drift"}, func() error {
+		rs, err := experiments.DriftGrid(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.DriftGridTable(rs))
+		return nil
+	})
 	run([]string{"tiered"}, func() error {
 		rs, err := experiments.TieredExperiment(cfg)
 		if err != nil {
@@ -202,7 +210,7 @@ func main() {
 	})
 
 	if !ran {
-		fatalf("unknown -fig %q (want 1, 5a, 5b, 5c, 6, 7, 8, acc, evict, tiered, robust, ablate or all)", *fig)
+		fatalf("unknown -fig %q (want 1, 5a, 5b, 5c, 6, 7, 8, acc, evict, drift, tiered, robust, ablate or all)", *fig)
 	}
 	if reg != nil {
 		fmt.Println("observability snapshot:")

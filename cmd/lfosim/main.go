@@ -22,6 +22,7 @@ import (
 	"lfo/internal/obs"
 	"lfo/internal/opt"
 	"lfo/internal/policy"
+	"lfo/internal/policy/ogd"
 	"lfo/internal/sim"
 	"lfo/internal/trace"
 )
@@ -41,6 +42,9 @@ func main() {
 		evictMode = flag.String("evict", "", "eviction mechanism: rank|learned|gdsf|lru for -policy lfo (default rank), learned|gdsf|lru for -policy evict (default learned)")
 		admit     = flag.String("admit", "admit-all", "admission side for -policy evict: admit-all or second-hit")
 		workers   = flag.Int("workers", 0, "goroutines for LFO training/scoring and OPT labeling: 0=all cores, 1=sequential")
+		ogdEta    = flag.Float64("ogd", 0, "OGD gradient step scale for -policy ogd and the lfo hybrid shadow learner (0 = default)")
+		hybridLR  = flag.Float64("hybrid-lr", 0, "per-size-class bias learning rate for -policy lfo: > 0 enables the online-learning bridge")
+		driftThr  = flag.Float64("drift-threshold", 0, "PSI threshold for -policy lfo: > 0 enables the drift detector and early-retrain trigger")
 		series    = flag.Int("series", 0, "also print per-window metrics every N requests")
 		showObs   = flag.Bool("obs", false, "print the observability snapshot (internal/obs counters) after the run")
 	)
@@ -80,7 +84,7 @@ func main() {
 
 	var results []*sim.Metrics
 	for _, pn := range names {
-		p, err := makePolicy(pn, size, *seed, *window, *workers, *evictMode, *admit, reg)
+		p, err := makePolicy(pn, size, *seed, *window, *workers, *evictMode, *admit, bridgeFlags{eta: *ogdEta, lr: *hybridLR, threshold: *driftThr}, reg)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -123,18 +127,31 @@ func loadTrace(path, mix string, n int, seed int64) (*trace.Trace, error) {
 	}
 }
 
-func makePolicy(name string, size, seed int64, window, workers int, evictMode, admit string, reg *obs.Registry) (sim.Policy, error) {
+// bridgeFlags carries the online-learning-bridge knobs: the OGD step
+// scale, the hybrid bias learning rate, and the drift trigger threshold.
+type bridgeFlags struct {
+	eta, lr, threshold float64
+}
+
+func makePolicy(name string, size, seed int64, window, workers int, evictMode, admit string, bridge bridgeFlags, reg *obs.Registry) (sim.Policy, error) {
 	switch name {
 	case "lfo":
 		return core.New(core.Config{
-			CacheSize:  size,
-			WindowSize: window,
-			OPT:        opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
-			Workers:    workers,
-			Eviction:   evictMode,
-			Seed:       seed,
-			Obs:        reg,
+			CacheSize:      size,
+			WindowSize:     window,
+			OPT:            opt.Config{Algorithm: opt.AlgoAuto, RankFraction: 0.5},
+			Workers:        workers,
+			Eviction:       evictMode,
+			Seed:           seed,
+			OGDEta:         bridge.eta,
+			HybridLR:       bridge.lr,
+			DriftThreshold: bridge.threshold,
+			Obs:            reg,
 		})
+	case "ogd":
+		// Registered in the baseline table too, but the -ogd step-scale
+		// override only reaches it through this explicit construction.
+		return ogd.New(ogd.Config{CacheSize: size, Eta: bridge.eta})
 	case "evict":
 		cfg := evict.Config{
 			CacheSize:  size,

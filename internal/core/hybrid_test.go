@@ -1,0 +1,309 @@
+package core
+
+import (
+	"testing"
+
+	"lfo/internal/gen"
+	"lfo/internal/obs"
+	"lfo/internal/trace"
+)
+
+func TestHybridValidation(t *testing.T) {
+	cfg := testConfig(1<<20, 1000)
+	cfg.HybridLR = -0.1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative HybridLR accepted")
+	}
+	cfg = testConfig(1<<20, 1000)
+	cfg.DriftThreshold = -0.5
+	if _, err := New(cfg); err == nil {
+		t.Error("negative DriftThreshold accepted")
+	}
+	cfg = testConfig(1<<20, 1000)
+	cfg.HybridLR = 0.5 // implies Hybrid
+	lfo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lfo.shadow == nil {
+		t.Error("HybridLR > 0 did not enable the shadow learner")
+	}
+}
+
+// scenarioTraces builds the three evaluation scenarios at unit-test
+// scale: a stationary web mix, the CDN mix with its built-in drift
+// events, and a web mix whose popular set reshuffles cold mid-trace.
+func scenarioTraces(t *testing.T, n int, seed int64) map[string]*trace.Trace {
+	t.Helper()
+	out := make(map[string]*trace.Trace, 3)
+	for name, cfg := range map[string]gen.Config{
+		"stable":    gen.WebMix(n, seed),
+		"cdn-drift": gen.CDNMix(n, seed),
+		"reshuffle": func() gen.Config {
+			c := gen.WebMix(n, seed)
+			c.Drift = append(c.Drift, gen.DriftEvent{At: 0.5, Class: 0, NewWeight: 1, Reshuffle: true})
+			return c
+		}(),
+	} {
+		tr, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = tr.WithCosts(trace.ObjectiveBHR)
+	}
+	return out
+}
+
+// TestHybridZeroLRMatchesFrozen pins that the bridge is opt-in: with the
+// full hybrid machinery running but a bias learning rate of zero, the
+// decision log is identical to the frozen-GBDT path on all three
+// scenarios. The shadow learner runs, the bias table is consulted — and
+// adds exactly 0.0 to every score.
+func TestHybridZeroLRMatchesFrozen(t *testing.T) {
+	for name, tr := range scenarioTraces(t, 2000, 42) {
+		t.Run(name, func(t *testing.T) {
+			frozen, err := New(testConfig(1<<20, 1000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hcfg := testConfig(1<<20, 1000)
+			hcfg.Hybrid = true // HybridLR stays 0
+			hybrid, err := New(hcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range tr.Requests {
+				a, b := frozen.Request(r), hybrid.Request(r)
+				if a != b {
+					t.Fatalf("decision %d diverged: frozen=%v hybrid(lr=0)=%v", i, a, b)
+				}
+			}
+			if frozen.Windows() != hybrid.Windows() {
+				t.Errorf("windows diverged: %d vs %d", frozen.Windows(), hybrid.Windows())
+			}
+		})
+	}
+}
+
+// TestHybridBiasAdaptsAndResets: with a positive learning rate the bias
+// table moves away from zero between retrains, and a model deploy hands
+// the state back — every class resets to zero.
+func TestHybridBiasAdaptsAndResets(t *testing.T) {
+	tr := webTrace(t, 2000, 7)
+	cfg := testConfig(1<<20, 1000)
+	cfg.HybridLR = 0.05
+	lfo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First window trains and deploys at request 1000; drive halfway into
+	// the second window so the bias has a deployed model to adapt against.
+	for _, r := range tr.Requests[:1500] {
+		lfo.Request(r)
+	}
+	if lfo.Windows() != 1 {
+		t.Fatalf("Windows = %d, want 1", lfo.Windows())
+	}
+	moved := false
+	for _, b := range lfo.bias {
+		if b != 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("bias table still all-zero mid-window with HybridLR > 0")
+	}
+	// Crossing the second boundary retrains and deploys: reset.
+	for _, r := range tr.Requests[1500:2000] {
+		lfo.Request(r)
+	}
+	if lfo.Windows() != 2 {
+		t.Fatalf("Windows = %d, want 2", lfo.Windows())
+	}
+	for c, b := range lfo.bias {
+		if b != 0 {
+			t.Errorf("bias[%d] = %v after deploy, want 0", c, b)
+		}
+	}
+}
+
+// driftTrace hand-builds a trace whose feature distribution shifts
+// sharply at the given request index: object sizes jump by a factor of
+// 64, which moves the size feature six log2 bins.
+func driftTrace(n, shiftAt int) []trace.Request {
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		size := int64(1 << 10)
+		if i >= shiftAt {
+			size = 1 << 16
+		}
+		reqs[i] = trace.Request{
+			Time: int64(i),
+			ID:   trace.ObjectID(i % 200),
+			Size: size,
+			Cost: float64(size),
+		}
+	}
+	return reqs
+}
+
+// TestEarlyRetrainTrigger: a sharp distribution shift mid-window fires
+// the trigger well before the boundary, the retrain is counted in obs,
+// and the drift gauges expose the statistic that fired it. The shift
+// lands in window 3 because the trigger only arms once both the
+// reference and the live side are past the cold-start window.
+func TestEarlyRetrainTrigger(t *testing.T) {
+	const window = 4000
+	shiftAt := 2*window + window/4
+	reqs := driftTrace(3*window, shiftAt)
+	cfg := testConfig(1<<26, window)
+	cfg.DriftThreshold = 0.25
+	cfg.DriftCheckEvery = 200
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	lfo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := -1
+	for i, r := range reqs {
+		lfo.Request(r)
+		if fired < 0 && lfo.EarlyRetrains() > 0 {
+			fired = i
+			// Read the gauges at fire time: they hold the statistic that
+			// crossed the threshold (later checks overwrite them with the
+			// post-adaptation PSI, which correctly decays back toward 0).
+			if max := reg.Gauge("core_drift_psi_max_micro").Value(); max <= 250000 {
+				t.Errorf("core_drift_psi_max_micro = %d at fire time, want > 250000", max)
+			}
+			if sizePSI := reg.Gauge("core_drift_psi_size_micro").Value(); sizePSI <= 250000 {
+				t.Errorf("core_drift_psi_size_micro = %d at fire time, want > 250000 (size is the shifted feature)", sizePSI)
+			}
+		}
+	}
+	if fired < 0 {
+		t.Fatal("64x size shift never fired the early-retrain trigger")
+	}
+	if fired <= shiftAt || fired >= 3*window-1 {
+		t.Fatalf("trigger fired at request %d, want after the shift at %d and before the window boundary at %d",
+			fired, shiftAt, 3*window)
+	}
+	if lfo.Windows() < 3 {
+		t.Fatalf("Windows = %d, want >= 3 (two boundaries + early)", lfo.Windows())
+	}
+	if got := reg.Counter("core_early_retrains_total").Value(); got != int64(lfo.EarlyRetrains()) {
+		t.Errorf("core_early_retrains_total = %d, want %d", got, lfo.EarlyRetrains())
+	}
+}
+
+// TestEarlyRetrainStableTraceQuiet: on a stationary stream the trigger
+// must not fire — the same-distribution PSI stays under the threshold.
+func TestEarlyRetrainStableTraceQuiet(t *testing.T) {
+	tr := webTrace(t, 4000, 11)
+	cfg := testConfig(1<<20, 1000)
+	cfg.DriftThreshold = 0.25
+	cfg.DriftCheckEvery = 200
+	lfo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Requests {
+		lfo.Request(r)
+	}
+	if lfo.EarlyRetrains() != 0 {
+		t.Errorf("EarlyRetrains = %d on a stationary trace, want 0", lfo.EarlyRetrains())
+	}
+	if lfo.Windows() != 4 {
+		t.Errorf("Windows = %d, want 4 boundary retrains", lfo.Windows())
+	}
+}
+
+// TestEarlyRetrainSuppressedWhileAsyncPending extends the PR 4 dropped-
+// window accounting to the trigger path: a drift trigger that lands
+// while an async round is in flight must be suppressed and counted —
+// never a second concurrent round, never a deadlock. Run under -race by
+// scripts/check.sh.
+func TestEarlyRetrainSuppressedWhileAsyncPending(t *testing.T) {
+	const window = 4000
+	shiftAt := 2*window + window/4
+	reqs := driftTrace(4*window, shiftAt)
+	cfg := testConfig(1<<26, window)
+	cfg.AsyncTraining = true
+	cfg.DriftThreshold = 0.25
+	cfg.DriftCheckEvery = 200
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	lfo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two windows train async off their boundaries, Close deploying each,
+	// so the trigger is armed (two references, warm on both sides).
+	for _, r := range reqs[:window] {
+		lfo.Request(r)
+	}
+	lfo.Close()
+	for _, r := range reqs[window : 2*window] {
+		lfo.Request(r)
+	}
+	lfo.Close()
+	if lfo.Windows() != 2 {
+		t.Fatalf("Windows = %d after two Closes, want 2", lfo.Windows())
+	}
+
+	// Wedge a fake in-flight round, then drive the shifted stream far
+	// past every trigger condition: the trigger must keep suppressing.
+	stuck := make(chan trainResult, 1)
+	lfo.pending = stuck
+	for _, r := range reqs[2*window : 3*window] {
+		lfo.Request(r)
+	}
+	if lfo.EarlyRetrains() != 0 {
+		t.Fatalf("EarlyRetrains = %d with a round in flight, want 0", lfo.EarlyRetrains())
+	}
+	suppressed := reg.Counter("core_early_retrains_suppressed_total").Value()
+	if suppressed == 0 {
+		t.Fatal("trigger conditions held while pending but nothing was counted as suppressed")
+	}
+	// The boundary crossed while wedged must have dropped its window, as
+	// in the plain async path.
+	if lfo.windowsDropped != 1 {
+		t.Errorf("windowsDropped = %d, want 1", lfo.windowsDropped)
+	}
+
+	// Release the wedge: the next drift check fires a real early retrain
+	// (the shifted distribution persists and the dropped window means no
+	// re-baselining happened meanwhile).
+	lfo.pending = nil
+	for _, r := range reqs[3*window:] {
+		lfo.Request(r)
+	}
+	lfo.Close()
+	if lfo.EarlyRetrains() == 0 {
+		t.Error("trigger never fired after the in-flight round cleared")
+	}
+	if got := reg.Counter("core_early_retrains_total").Value(); got != int64(lfo.EarlyRetrains()) {
+		t.Errorf("core_early_retrains_total = %d, want %d", got, lfo.EarlyRetrains())
+	}
+}
+
+// TestHybridBiasHistogramRecorded: the per-request applied bias lands in
+// the obs histogram once a model is serving.
+func TestHybridBiasHistogramRecorded(t *testing.T) {
+	tr := webTrace(t, 1500, 3)
+	cfg := testConfig(1<<20, 1000)
+	cfg.HybridLR = 0.05
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	lfo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Requests {
+		lfo.Request(r)
+	}
+	h := reg.Histogram("core_hybrid_bias_micro", HybridBiasBounds)
+	if h.Count() != 500 {
+		t.Errorf("bias histogram count = %d, want 500 (one per post-bootstrap request)", h.Count())
+	}
+}

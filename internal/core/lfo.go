@@ -17,12 +17,14 @@ import (
 	"fmt"
 	"sort"
 
+	"lfo/internal/drift"
 	"lfo/internal/evict"
 	"lfo/internal/features"
 	"lfo/internal/gbdt"
 	"lfo/internal/obs"
 	"lfo/internal/opt"
 	"lfo/internal/par"
+	"lfo/internal/policy/ogd"
 	"lfo/internal/pq"
 	"lfo/internal/sim"
 	"lfo/internal/trace"
@@ -75,6 +77,30 @@ type Config struct {
 	// Seed seeds the learned evictor's candidate sampler. Runs are
 	// byte-reproducible for a fixed seed.
 	Seed int64
+	// Hybrid enables the online-learning bridge (see hybrid.go): a
+	// shadow OGD learner runs beside the model and a per-size-class bias
+	// pulls admission likelihoods toward the online learner's view
+	// between retrains. With HybridLR == 0 the bias stays zero and
+	// decisions are identical to the frozen-GBDT path — the machinery
+	// runs, the modulation is inert.
+	Hybrid bool
+	// HybridLR is the bias learning rate; > 0 implies Hybrid.
+	HybridLR float64
+	// OGDEta overrides the shadow learner's gradient step scale
+	// (default ogd.DefaultEta). Only meaningful with Hybrid.
+	OGDEta float64
+	// DriftThreshold, when positive, enables the feature-drift detector
+	// and its early-retrain trigger: when any monitored feature's PSI
+	// against the training-window snapshot exceeds the threshold, the
+	// current window retrains early. drift.DefaultThreshold (0.25) is
+	// the classic "population changed" break.
+	DriftThreshold float64
+	// DriftCheckEvery is how often (in requests) the drift statistic is
+	// evaluated. Zero means 1000.
+	DriftCheckEvery int
+	// EarlyRetrainMin is the minimum current-window length (in requests)
+	// an early retrain may train on. Zero means WindowSize/4.
+	EarlyRetrainMin int
 	// OnRetrain, when set, is called after each training round with
 	// diagnostics about the new model.
 	OnRetrain func(stats RetrainStats)
@@ -147,6 +173,18 @@ func (c Config) withDefaults() Config {
 	if c.GBDT.NumIterations == 0 {
 		c.GBDT = gbdt.DefaultParams()
 	}
+	if c.HybridLR > 0 {
+		c.Hybrid = true
+	}
+	if c.OGDEta == 0 {
+		c.OGDEta = ogd.DefaultEta
+	}
+	if c.DriftCheckEvery <= 0 {
+		c.DriftCheckEvery = 1000
+	}
+	if c.EarlyRetrainMin <= 0 {
+		c.EarlyRetrainMin = c.WindowSize / 4
+	}
 	if c.GBDT.Workers == 0 {
 		c.GBDT.Workers = c.Workers
 	}
@@ -187,6 +225,18 @@ type LFO struct {
 	// against the deployed count p.windows is the window lag gauge.
 	completedWindows int
 	windowsDropped   int
+
+	// Online-learning bridge state (hybrid.go): the shadow OGD learner
+	// and per-size-class bias (nil unless cfg.Hybrid), the drift
+	// detector and its row buffer (nil unless cfg.DriftThreshold > 0),
+	// and the early-retrain count.
+	shadow        *ogd.Learner
+	bias          []float64
+	det           *drift.Detector
+	driftRow      [driftFeatures]float64
+	driftRefs     int // SetReference count; the trigger arms at 2
+	earlyRetrains int
+	hm            hybridMetrics
 
 	m  coreMetrics         // nil-safe handles; zero cost when cfg.Obs is nil
 	em evict.VictimMetrics // victims-by-tier counters for evictor modes
@@ -249,6 +299,12 @@ func New(cfg Config) (*LFO, error) {
 	if err := cfg.GBDT.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.HybridLR < 0 {
+		return nil, fmt.Errorf("core: HybridLR must be non-negative, got %v", cfg.HybridLR)
+	}
+	if cfg.DriftThreshold < 0 {
+		return nil, fmt.Errorf("core: DriftThreshold must be non-negative, got %v", cfg.DriftThreshold)
+	}
 	store := sim.NewStore[evict.Meta](cfg.CacheSize)
 	p := &LFO{
 		cfg:     cfg,
@@ -256,6 +312,24 @@ func New(cfg Config) (*LFO, error) {
 		tracker: features.NewTracker(cfg.MaxTrackedObjects),
 		buf:     make([]float64, features.Dim),
 		m:       newCoreMetrics(cfg.Obs),
+	}
+	if cfg.Hybrid || cfg.DriftThreshold > 0 {
+		p.hm = newHybridMetrics(cfg.Obs)
+	}
+	if cfg.Hybrid {
+		shadow, err := ogd.NewLearner(ogd.Config{CacheSize: cfg.CacheSize, Eta: cfg.OGDEta})
+		if err != nil {
+			return nil, fmt.Errorf("core: %v", err)
+		}
+		p.shadow = shadow
+		p.bias = make([]float64, numSizeClasses)
+	}
+	if cfg.DriftThreshold > 0 {
+		det, err := drift.New(drift.Config{Features: driftFeatures})
+		if err != nil {
+			return nil, fmt.Errorf("core: %v", err)
+		}
+		p.det = det
 	}
 	switch cfg.Eviction {
 	case "", "rank":
@@ -317,6 +391,20 @@ func (p *LFO) Request(r trace.Request) bool {
 	if p.model != nil {
 		likelihood = p.model.Predict(p.buf)
 	}
+	// admitScore is the admission-side likelihood: the hybrid bridge
+	// modulates the admission decision only, leaving eviction ranks on
+	// the raw model score so the rank queue stays internally consistent
+	// between retrains.
+	admitScore := likelihood
+	if p.shadow != nil {
+		admitScore = p.hybridScore(r, likelihood)
+	}
+	if p.det != nil {
+		p.observeDrift(p.buf)
+		if p.clock%int64(p.cfg.DriftCheckEvery) == 0 {
+			p.driftCheck()
+		}
+	}
 
 	e := p.store.Get(r.ID)
 	hit := e != nil
@@ -327,8 +415,9 @@ func (p *LFO) Request(r trace.Request) bool {
 	case hit && p.model != nil:
 		// Re-evaluate on every request (§2.4): update the eviction rank
 		// and, matching OPT's behavior, drop the object right away when
-		// the model says OPT would not keep it.
-		if likelihood < p.cfg.Cutoff && !p.cfg.DisableEvictOnHit {
+		// the model says OPT would not keep it. The keep/evict call is an
+		// admission-style decision, so it uses the hybrid-modulated score.
+		if admitScore < p.cfg.Cutoff && !p.cfg.DisableEvictOnHit {
 			p.removeResident(e)
 		} else {
 			p.touch(e, r, likelihood)
@@ -339,7 +428,7 @@ func (p *LFO) Request(r trace.Request) bool {
 		if p.model == nil {
 			// Bootstrap: admit all, LRU eviction order.
 			p.admitWith(r, float64(p.clock))
-		} else if likelihood >= p.cfg.Cutoff {
+		} else if admitScore >= p.cfg.Cutoff {
 			p.admitWith(r, likelihood)
 		}
 	}
@@ -448,6 +537,12 @@ func (p *LFO) admitEvictor(r trace.Request) {
 // boundary state and joins at a fixed point, so results are byte-identical
 // to the sequential pipeline for any Workers value.
 func (p *LFO) retrain() {
+	if p.det != nil {
+		// The live histogram now holds exactly the rows this round trains
+		// on; snapshot it as the drift reference for the incoming model.
+		p.det.SetReference()
+		p.driftRefs++
+	}
 	win := &trace.Trace{Requests: p.winReqs}
 	var res *opt.Result
 	var optErr error
@@ -517,7 +612,10 @@ func (p *LFO) retrain() {
 	p.winReqs = p.winReqs[:0]
 	p.winFeats = p.winFeats[:0]
 	// Deploy both models at the same point, atomically between requests.
+	// The fresh model owns the adapted state again: the bridge bias
+	// starts over from zero.
 	p.model = model
+	p.resetBias()
 	if evictModel != nil {
 		p.evictor.SetModel(evictModel)
 	}
@@ -569,6 +667,7 @@ func (p *LFO) deploy(tr trainResult) {
 		p.cfg.OnRetrain(tr.stats)
 	}
 	p.model = tr.model
+	p.resetBias()
 	if tr.evictModel != nil {
 		p.evictor.SetModel(tr.evictModel)
 	}
@@ -599,6 +698,14 @@ func (p *LFO) retrainAsync() {
 		p.m.windowsDropped.Inc()
 		p.updateLag()
 		return
+	}
+	if p.det != nil {
+		// Snapshot the drift reference at launch: the rows observed since
+		// the previous launch are what this round trains on (plus any
+		// dropped windows, which the incoming model never saw but which
+		// are the best available stand-in for its training distribution).
+		p.det.SetReference()
+		p.driftRefs++
 	}
 	reqs := append([]trace.Request(nil), p.winReqs...)
 	feats := append([]float64(nil), p.winFeats...)

@@ -1,0 +1,212 @@
+// Package drift detects feature-distribution shift between the window a
+// model was trained on and the live request stream it is serving.
+//
+// The statistic is a streaming Population Stability Index (PSI) per
+// feature. Each monitored feature gets a fixed histogram: one bin for
+// missing values (NaN), one for non-positives, and log2-spaced bins for
+// positive magnitudes — the same binning for the reference and the live
+// window, so no quantile estimation is needed on a stream. When a model
+// is (re)trained, SetReference snapshots the live histogram as the
+// training distribution and resets the live counts; afterwards
+//
+//	PSI(f) = Σ_bins (pᵢ − qᵢ)·ln(pᵢ/qᵢ)
+//
+// with Laplace-smoothed bin probabilities p (live) and q (reference).
+// The classic credit-scoring rule of thumb reads PSI < 0.1 as stable,
+// 0.1–0.25 as moderate shift, and > 0.25 as a population change that
+// warrants retraining; DefaultThreshold adopts the 0.25 break.
+//
+// The detector is allocation-free after construction and fully
+// deterministic: fixed bin edges, no sampling, no clocks.
+package drift
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultBins is the number of log2 magnitude bins per feature (on top
+// of the missing and non-positive bins). 40 doublings cover 1 through
+// ~10^12, comfortably past object sizes, costs, and inter-arrival gaps.
+const DefaultBins = 40
+
+// DefaultMinSamples is the number of live observations required before
+// Score reports a non-zero PSI; below it the live histogram is noise.
+const DefaultMinSamples = 500
+
+// DefaultThreshold is the PSI above which callers should treat the
+// feature as drifted (the classic 0.25 "population changed" break).
+const DefaultThreshold = 0.25
+
+// laplace is the smoothing mass added to every bin count so empty bins
+// never produce infinite log-ratios.
+const laplace = 0.5
+
+// Config parameterizes a Detector.
+type Config struct {
+	// Features is the number of monitored features (one histogram each).
+	// Required.
+	Features int
+	// Bins is the number of log2 magnitude bins; 0 means DefaultBins.
+	Bins int
+	// MinSamples gates scoring until the live window has this many rows;
+	// 0 means DefaultMinSamples.
+	MinSamples int
+}
+
+// Detector maintains per-feature reference and live histograms.
+type Detector struct {
+	features   int
+	bins       int // total bins per feature, including missing + nonpos
+	minSamples int
+	// ref and live are [features][bins] counts, flattened.
+	ref  []float64
+	live []float64
+	// refN and liveN are the row counts behind each histogram.
+	refN  int64
+	liveN int64
+	// hasRef records whether SetReference has ever been called.
+	hasRef bool
+	// scratch holds the per-feature scores computed by MaxScore.
+	scratch []float64
+}
+
+// New returns a detector. Observe counts rows into the live histogram;
+// SetReference promotes the live histogram to the reference (the
+// training-window snapshot) and clears the live side.
+func New(cfg Config) (*Detector, error) {
+	if cfg.Features <= 0 {
+		return nil, fmt.Errorf("drift: Features must be positive, got %d", cfg.Features)
+	}
+	if cfg.Bins == 0 {
+		cfg.Bins = DefaultBins
+	}
+	if cfg.Bins < 2 {
+		return nil, fmt.Errorf("drift: Bins must be at least 2, got %d", cfg.Bins)
+	}
+	if cfg.MinSamples == 0 {
+		cfg.MinSamples = DefaultMinSamples
+	}
+	if cfg.MinSamples < 1 {
+		return nil, fmt.Errorf("drift: MinSamples must be positive, got %d", cfg.MinSamples)
+	}
+	total := cfg.Bins + 2 // + missing bin + non-positive bin
+	return &Detector{
+		features:   cfg.Features,
+		bins:       total,
+		minSamples: cfg.MinSamples,
+		ref:        make([]float64, cfg.Features*total),
+		live:       make([]float64, cfg.Features*total),
+		scratch:    make([]float64, cfg.Features),
+	}, nil
+}
+
+// Features returns the number of monitored features.
+func (d *Detector) Features() int { return d.features }
+
+// bin maps a value to its histogram bin: 0 for missing (NaN), 1 for
+// non-positive, 2+k for values in [2^k, 2^(k+1)), clamped to the last bin.
+func (d *Detector) bin(v float64) int {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v <= 0 {
+		return 1
+	}
+	k := int(math.Log2(v))
+	if k < 0 {
+		k = 0
+	}
+	if k > d.bins-3 {
+		k = d.bins - 3
+	}
+	return 2 + k
+}
+
+// Observe counts one feature row into the live histogram. The row may be
+// longer than Features; extra columns are ignored (a features.Dim row is
+// observed on its leading columns). Rows shorter than Features are an
+// error the caller should have prevented; they are counted as missing.
+//
+//lfo:hotpath
+func (d *Detector) Observe(row []float64) {
+	for f := 0; f < d.features; f++ {
+		v := math.NaN()
+		if f < len(row) {
+			v = row[f]
+		}
+		d.live[f*d.bins+d.bin(v)]++
+	}
+	d.liveN++
+}
+
+// SetReference snapshots the live histogram as the training-window
+// reference and resets the live side. Call it when a training round is
+// launched on the just-closed window, so the reference matches what the
+// incoming model saw.
+func (d *Detector) SetReference() {
+	copy(d.ref, d.live)
+	d.refN = d.liveN
+	d.resetLive()
+	d.hasRef = true
+}
+
+// resetLive zeroes the live histogram.
+func (d *Detector) resetLive() {
+	for i := range d.live {
+		d.live[i] = 0
+	}
+	d.liveN = 0
+}
+
+// Ready reports whether Score can return a meaningful value: a reference
+// exists and the live window has at least MinSamples rows.
+func (d *Detector) Ready() bool {
+	return d.hasRef && d.refN > 0 && d.liveN >= int64(d.minSamples)
+}
+
+// Score returns the PSI of feature f's live distribution against the
+// reference, or 0 when not Ready.
+func (d *Detector) Score(f int) float64 {
+	if !d.Ready() || f < 0 || f >= d.features {
+		return 0
+	}
+	return d.psi(f)
+}
+
+// psi computes the Laplace-smoothed PSI for one feature.
+func (d *Detector) psi(f int) float64 {
+	off := f * d.bins
+	smooth := laplace * float64(d.bins)
+	refTot := float64(d.refN) + smooth
+	liveTot := float64(d.liveN) + smooth
+	sum := 0.0
+	for b := 0; b < d.bins; b++ {
+		q := (d.ref[off+b] + laplace) / refTot
+		p := (d.live[off+b] + laplace) / liveTot
+		sum += (p - q) * math.Log(p/q)
+	}
+	return sum
+}
+
+// MaxScore returns the largest per-feature PSI and the feature index it
+// belongs to (-1 and 0 when not Ready). This is the trigger statistic:
+// drift on any monitored feature is drift.
+func (d *Detector) MaxScore() (feature int, score float64) {
+	if !d.Ready() {
+		return -1, 0
+	}
+	feature, score = -1, 0
+	for f := 0; f < d.features; f++ {
+		s := d.psi(f)
+		d.scratch[f] = s
+		if feature == -1 || s > score {
+			feature, score = f, s
+		}
+	}
+	return feature, score
+}
+
+// Scores returns the per-feature PSI vector as filled by the last
+// MaxScore call; the slice is owned by the detector.
+func (d *Detector) Scores() []float64 { return d.scratch }

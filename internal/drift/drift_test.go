@@ -1,0 +1,254 @@
+package drift
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The detector's production use monitors the leading 5 columns of the
+// feature rows (size, cost, free bytes, and the two most recent request
+// gaps). The tests mirror that: 5-feature rows with size-like,
+// cost-like, and gap-like positive distributions plus NaN missingness.
+const testFeatures = 5
+
+// sampleRow draws one 5-feature row. Each feature has its own scale so a
+// shift on one is invisible on the others.
+func sampleRow(rng *rand.Rand, row []float64) {
+	row[0] = math.Exp(rng.NormFloat64()*1.5 + 8)  // size, ~3 KiB median
+	row[1] = math.Exp(rng.NormFloat64()*1.0 + 4)  // cost
+	row[2] = math.Exp(rng.NormFloat64()*0.5 + 20) // free bytes
+	row[3] = math.Exp(rng.NormFloat64()*2.0 + 5)  // gap 0
+	if rng.Float64() < 0.3 {                      // gap 1 often missing
+		row[4] = math.NaN()
+	} else {
+		row[4] = math.Exp(rng.NormFloat64()*2.0 + 7)
+	}
+}
+
+func feed(d *Detector, rng *rand.Rand, n int, mutate func(row []float64)) {
+	row := make([]float64, testFeatures)
+	for i := 0; i < n; i++ {
+		sampleRow(rng, row)
+		if mutate != nil {
+			mutate(row)
+		}
+		d.Observe(row)
+	}
+}
+
+func newTestDetector(t *testing.T) *Detector {
+	t.Helper()
+	d, err := New(Config{Features: testFeatures})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Features: -1},
+		{Features: 5, Bins: 1},
+		{Features: 5, MinSamples: -1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New accepted invalid config %+v", cfg)
+		}
+	}
+}
+
+// TestSameDistributionStaysBelowTrigger is the null-hypothesis property:
+// feeding the training-window distribution back in keeps every feature's
+// PSI well below the trigger, across seeds.
+func TestSameDistributionStaysBelowTrigger(t *testing.T) {
+	for _, seed := range []int64{1, 42, 12345} {
+		d := newTestDetector(t)
+		rng := rand.New(rand.NewSource(seed))
+		feed(d, rng, 5000, nil)
+		d.SetReference()
+		feed(d, rng, 5000, nil)
+		if !d.Ready() {
+			t.Fatalf("seed %d: detector not ready after 5000 live rows", seed)
+		}
+		f, score := d.MaxScore()
+		if score >= DefaultThreshold {
+			t.Errorf("seed %d: same-distribution max PSI %.4f (feature %d) crossed trigger %.2f",
+				seed, score, f, DefaultThreshold)
+		}
+	}
+}
+
+// TestShiftedFeatureCrossesTrigger is the alternative-hypothesis
+// property, table-driven over all 5 monitored features: scaling or
+// offsetting any single feature pushes its PSI (and only its PSI
+// meaningfully) over the trigger.
+func TestShiftedFeatureCrossesTrigger(t *testing.T) {
+	shifts := []struct {
+		name   string
+		f      int
+		mutate func(row []float64)
+	}{
+		{"size-scale-8x", 0, func(r []float64) { r[0] *= 8 }},
+		{"cost-offset", 1, func(r []float64) { r[1] += 4096 }},
+		{"free-scale-down", 2, func(r []float64) { r[2] /= 16 }},
+		{"gap0-scale-16x", 3, func(r []float64) { r[3] *= 16 }},
+		{"gap1-now-present", 4, func(r []float64) {
+			if math.IsNaN(r[4]) {
+				r[4] = 1024 // missingness rate collapses to zero
+			}
+		}},
+	}
+	for _, tc := range shifts {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, seed := range []int64{1, 42, 12345} {
+				d := newTestDetector(t)
+				rng := rand.New(rand.NewSource(seed))
+				feed(d, rng, 5000, nil)
+				d.SetReference()
+				feed(d, rng, 5000, tc.mutate)
+				got := d.Score(tc.f)
+				if got <= DefaultThreshold {
+					t.Errorf("seed %d: shifted feature %d PSI %.4f did not cross trigger %.2f",
+						seed, tc.f, got, DefaultThreshold)
+				}
+				f, max := d.MaxScore()
+				if f != tc.f {
+					t.Errorf("seed %d: MaxScore picked feature %d (%.4f), want shifted feature %d (%.4f)",
+						seed, f, max, tc.f, got)
+				}
+			}
+		})
+	}
+}
+
+// TestMinSamplesGate: scores are suppressed until the live window has
+// enough rows to be meaningful.
+func TestMinSamplesGate(t *testing.T) {
+	d, err := New(Config{Features: testFeatures, MinSamples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	feed(d, rng, 500, nil)
+	d.SetReference()
+	feed(d, rng, 99, func(r []float64) { r[0] *= 100 })
+	if d.Ready() {
+		t.Fatal("Ready with 99 < 100 live rows")
+	}
+	if f, s := d.MaxScore(); f != -1 || s != 0 {
+		t.Fatalf("MaxScore before ready = (%d, %v), want (-1, 0)", f, s)
+	}
+	feed(d, rng, 1, func(r []float64) { r[0] *= 100 })
+	if !d.Ready() {
+		t.Fatal("not Ready at exactly MinSamples rows")
+	}
+}
+
+// TestNoReferenceNeverReady: without SetReference the detector must stay
+// silent no matter how much it observes.
+func TestNoReferenceNeverReady(t *testing.T) {
+	d := newTestDetector(t)
+	rng := rand.New(rand.NewSource(3))
+	feed(d, rng, 2000, nil)
+	if d.Ready() {
+		t.Fatal("Ready without a reference")
+	}
+	if s := d.Score(0); s != 0 {
+		t.Fatalf("Score without reference = %v, want 0", s)
+	}
+}
+
+// TestSetReferenceResetsLive: promoting a reference clears the live
+// window, so the next scoring period starts fresh.
+func TestSetReferenceResetsLive(t *testing.T) {
+	d := newTestDetector(t)
+	rng := rand.New(rand.NewSource(5))
+	feed(d, rng, 1000, nil)
+	d.SetReference()
+	if d.liveN != 0 {
+		t.Fatalf("liveN = %d after SetReference, want 0", d.liveN)
+	}
+	// A second SetReference after a shifted live window re-baselines:
+	// the shifted distribution becomes the new normal.
+	feed(d, rng, 2000, func(r []float64) { r[0] *= 8 })
+	d.SetReference()
+	feed(d, rng, 2000, func(r []float64) { r[0] *= 8 })
+	if _, score := d.MaxScore(); score >= DefaultThreshold {
+		t.Errorf("re-baselined detector still reports drift: PSI %.4f", score)
+	}
+}
+
+// TestShortRowCountsMissing: rows shorter than Features are counted as
+// missing rather than panicking.
+func TestShortRowCountsMissing(t *testing.T) {
+	d := newTestDetector(t)
+	d.Observe([]float64{1, 2}) // 3 columns short
+	if d.liveN != 1 {
+		t.Fatalf("liveN = %d, want 1", d.liveN)
+	}
+}
+
+// TestDeterministic: identical observation sequences yield bit-identical
+// scores.
+func TestDeterministic(t *testing.T) {
+	run := func() (int, float64) {
+		d := newTestDetector(t)
+		rng := rand.New(rand.NewSource(77))
+		feed(d, rng, 3000, nil)
+		d.SetReference()
+		feed(d, rng, 3000, func(r []float64) { r[2] *= 4 })
+		return d.MaxScore()
+	}
+	f1, s1 := run()
+	f2, s2 := run()
+	if f1 != f2 || s1 != s2 {
+		t.Fatalf("reruns differ: (%d, %v) vs (%d, %v)", f1, s1, f2, s2)
+	}
+}
+
+// BenchmarkDriftObserve pins the per-row cost of the live histogram
+// update, the piece that sits on the serving path.
+func BenchmarkDriftObserve(b *testing.B) {
+	d, err := New(Config{Features: testFeatures})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 256)
+	for i := range rows {
+		rows[i] = make([]float64, testFeatures)
+		sampleRow(rng, rows[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(rows[i%len(rows)])
+	}
+}
+
+// BenchmarkDriftMaxScore pins the cost of a full scoring pass (run every
+// DriftCheckEvery requests by core, not per request).
+func BenchmarkDriftMaxScore(b *testing.B) {
+	d, err := New(Config{Features: testFeatures})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	row := make([]float64, testFeatures)
+	for i := 0; i < 2000; i++ {
+		sampleRow(rng, row)
+		d.Observe(row)
+	}
+	d.SetReference()
+	for i := 0; i < 2000; i++ {
+		sampleRow(rng, row)
+		d.Observe(row)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.MaxScore()
+	}
+}

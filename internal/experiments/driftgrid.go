@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lfo/internal/core"
+	"lfo/internal/drift"
+	"lfo/internal/gen"
+	"lfo/internal/opt"
+	"lfo/internal/policy"
+	"lfo/internal/sim"
+	"lfo/internal/trace"
+)
+
+// DriftGridResult is one cell of the online-learning-bridge evaluation:
+// one serving strategy on one drift scenario, scored by hit ratios and
+// by regret against the per-window offline optimum.
+type DriftGridResult struct {
+	Scenario string
+	Policy   string
+	BHR      float64
+	OHR      float64
+	// Regret is the per-window regret series: OPT's byte hit ratio on
+	// the window's requests (solved clairvoyantly from a cold cache)
+	// minus the policy's. Lower is better; negative windows mean the
+	// warm policy beat the cold-start optimum bound.
+	Regret []float64
+	// AvgRegret is the mean of Regret.
+	AvgRegret float64
+	// EarlyRetrains counts drift-triggered training rounds (0 for rows
+	// without the trigger).
+	EarlyRetrains int
+}
+
+// hybridGridLR is the bias learning rate the hybrid rows use. The bias
+// is an EMA of the per-class disagreement, so 0.01 gives it a time
+// constant of ~100 requests per size class — fast enough to track a
+// shift within a window, slow enough not to chase per-object noise.
+const hybridGridLR = 0.01
+
+// driftGridPolicies enumerates the serving strategies, in the fixed
+// order the grid emits rows.
+var driftGridPolicies = []string{"frozen-gbdt", "ogd", "hybrid", "hybrid+early-retrain"}
+
+// driftGridPolicy builds the cache for one grid row. The frozen row is
+// the plain windowed LFO pipeline (frozen between retrains); ogd is the
+// pure online learner with no model at all; the hybrid rows bridge the
+// two, the last also arming the drift detector's early-retrain trigger.
+func driftGridPolicy(cfg Config, name string) (sim.Policy, error) {
+	switch name {
+	case "frozen-gbdt":
+		return core.New(cfg.lfoConfig())
+	case "ogd":
+		return policy.New("ogd", cfg.CacheSize, cfg.Seed)
+	case "hybrid":
+		lcfg := cfg.lfoConfig()
+		lcfg.HybridLR = hybridGridLR
+		return core.New(lcfg)
+	case "hybrid+early-retrain":
+		lcfg := cfg.lfoConfig()
+		lcfg.HybridLR = hybridGridLR
+		lcfg.DriftThreshold = drift.DefaultThreshold
+		return core.New(lcfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown drift-grid policy %q", name)
+	}
+}
+
+// WindowRegret scores a windowed metrics series against the per-window
+// offline optimum: for each window, OPT is solved clairvoyantly on
+// exactly that window's requests and the window's regret is OPT's BHR
+// minus the policy's. The OPT side is byte-deterministic for any
+// oc.Workers value, so the series is reproducible across worker counts.
+func WindowRegret(tr *trace.Trace, wins []sim.WindowMetrics, oc opt.Config) ([]float64, error) {
+	out := make([]float64, len(wins))
+	for i, w := range wins {
+		res, err := opt.Compute(tr.Slice(w.Start, w.Start+w.Requests), oc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res.BHR() - w.BHR()
+	}
+	return out, nil
+}
+
+// optWindowBHR solves per-window OPT once for a scenario; every grid row
+// shares the same window boundaries, so the solve is shared too.
+func optWindowBHR(cfg Config, tr *trace.Trace, wins []sim.WindowMetrics) ([]float64, error) {
+	oc := cfg.lfoConfig().OPT
+	oc.CacheSize = cfg.CacheSize
+	out := make([]float64, len(wins))
+	for i, w := range wins {
+		res, err := opt.Compute(tr.Slice(w.Start, w.Start+w.Requests), oc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res.BHR()
+	}
+	return out, nil
+}
+
+// DriftGrid runs the {frozen-gbdt, ogd, hybrid, hybrid+early-retrain} ×
+// {stable, cdn-drift, reshuffle} evaluation of the online-learning
+// bridge, reporting BHR/OHR and per-window regret against OPT. Rows are
+// emitted scenario-major in a fixed order and every cell is
+// byte-deterministic for a given Config including across Workers values
+// (the grid policies are synchronous; only solver internals
+// parallelize).
+func DriftGrid(cfg Config) ([]DriftGridResult, error) {
+	var out []DriftGridResult
+	for _, sc := range evictionScenarios(cfg) {
+		tr, err := gen.Generate(sc.gen)
+		if err != nil {
+			return nil, err
+		}
+		trc := tr.WithCosts(cfg.Objective)
+		opts := sim.Options{Warmup: cfg.Requests / 5, WindowSize: cfg.Window, Obs: cfg.Obs}
+		var optBHR []float64
+		for _, polName := range driftGridPolicies {
+			p, err := driftGridPolicy(cfg, polName)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %v", sc.name, polName, err)
+			}
+			m := sim.Run(trc, p, opts)
+			if optBHR == nil {
+				if optBHR, err = optWindowBHR(cfg, trc, m.Windows); err != nil {
+					return nil, fmt.Errorf("experiments: %s: per-window OPT: %v", sc.name, err)
+				}
+			}
+			regret := make([]float64, len(m.Windows))
+			sum := 0.0
+			for i := range m.Windows {
+				regret[i] = optBHR[i] - m.Windows[i].BHR()
+				sum += regret[i]
+			}
+			avg := 0.0
+			if len(regret) > 0 {
+				avg = sum / float64(len(regret))
+			}
+			early := 0
+			if lfo, ok := p.(*core.LFO); ok {
+				early = lfo.EarlyRetrains()
+			}
+			out = append(out, DriftGridResult{
+				Scenario:      sc.name,
+				Policy:        polName,
+				BHR:           m.BHR(),
+				OHR:           m.OHR(),
+				Regret:        regret,
+				AvgRegret:     avg,
+				EarlyRetrains: early,
+			})
+		}
+	}
+	return out, nil
+}
+
+// DriftGridTable formats the grid scenario-major.
+func DriftGridTable(rs []DriftGridResult) *Table {
+	t := &Table{
+		Title:  "Online-learning bridge: serving strategy x drift scenario",
+		Header: []string{"scenario", "policy", "BHR", "OHR", "avg regret", "early retrains"},
+	}
+	for _, r := range rs {
+		t.Rows = append(t.Rows, []string{
+			r.Scenario, r.Policy,
+			fmt.Sprintf("%.4f", r.BHR),
+			fmt.Sprintf("%.4f", r.OHR),
+			fmt.Sprintf("%.4f", r.AvgRegret),
+			fmt.Sprintf("%d", r.EarlyRetrains),
+		})
+	}
+	return t
+}

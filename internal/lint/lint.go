@@ -101,6 +101,8 @@ var DeterministicCore = []string{
 	"internal/evict",
 	"internal/experiments",
 	"internal/features",
+	"internal/policy/ogd",
+	"internal/drift",
 }
 
 // NumericKernels lists the float-heavy packages where exact equality is a

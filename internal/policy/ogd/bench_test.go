@@ -1,0 +1,70 @@
+package ogd
+
+import (
+	"testing"
+
+	"lfo/internal/trace"
+)
+
+// BenchmarkOGDRequest drives the full policy (gradient step + lazy
+// projection + rounding) at steady-state churn: the universe is 4x the
+// capacity so every request fights the projection and the integral store
+// keeps evicting. With the pq freelists and steady-state map buckets the
+// per-request path is allocation-free; the budget is pinned at 0 in
+// testdata/alloc_budgets.txt.
+func BenchmarkOGDRequest(b *testing.B) {
+	const (
+		capacity = 1 << 16 // 64 resident objects of 1 KiB
+		objSize  = 1 << 10
+		universe = 256 // 4x capacity: constant projection pressure
+	)
+	c, err := New(Config{CacheSize: capacity})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]trace.Request, universe)
+	for i := range reqs {
+		reqs[i] = trace.Request{Time: int64(i), ID: trace.ObjectID(i), Size: objSize, Cost: objSize}
+	}
+	// Warm through the universe twice so the pq freelists and map buckets
+	// reach their steady-state footprint.
+	for round := 0; round < 2; round++ {
+		for _, r := range reqs {
+			c.Request(r)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Request(reqs[i%universe])
+	}
+}
+
+// BenchmarkOGDLearnerUpdate isolates the fractional learner (the piece
+// internal/core runs as the hybrid shadow teacher) without the integral
+// store.
+func BenchmarkOGDLearnerUpdate(b *testing.B) {
+	const (
+		capacity = 1 << 16
+		objSize  = 1 << 10
+		universe = 256
+	)
+	l, err := NewLearner(Config{CacheSize: capacity})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]trace.Request, universe)
+	for i := range reqs {
+		reqs[i] = trace.Request{Time: int64(i), ID: trace.ObjectID(i), Size: objSize, Cost: objSize}
+	}
+	for round := 0; round < 2; round++ {
+		for _, r := range reqs {
+			l.Update(r)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Update(reqs[i%universe])
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lfo/internal/policy/ogd"
 	"lfo/internal/sim"
 )
 
@@ -33,6 +34,13 @@ var registry = map[string]Constructor{
 	"lhd":        func(c, s int64) sim.Policy { return NewLHD(c, s) },
 	"tinylfu":    func(c, s int64) sim.Policy { return NewTinyLFU(c) },
 	"rlc":        func(c, s int64) sim.Policy { return NewRLC(c, s) },
+	"ogd": func(c, s int64) sim.Policy {
+		p, err := ogd.New(ogd.Config{CacheSize: c})
+		if err != nil {
+			panic(err) // only reachable with a non-positive capacity
+		}
+		return p
+	},
 }
 
 // New constructs a policy by name. Names returns the valid names.

@@ -27,10 +27,10 @@ cleanup() {
 }
 trap cleanup EXIT
 
-bench='^(BenchmarkGBDTTrain|BenchmarkGBDTPredict|BenchmarkFeatureTracking|BenchmarkSimulatorRun|BenchmarkLFOCacheRequest|BenchmarkOPTCompute|BenchmarkFlatPredict|BenchmarkNodePredict|BenchmarkPredictBatch|BenchmarkPredictMatrix|BenchmarkPredictionServerRoundTrip|BenchmarkPredictionServerSingleRow|BenchmarkRouterEnqueueFlush|BenchmarkPickVictim|BenchmarkEvictCacheRequest|BenchmarkGDSFRequest)$'
+bench='^(BenchmarkGBDTTrain|BenchmarkGBDTPredict|BenchmarkFeatureTracking|BenchmarkSimulatorRun|BenchmarkLFOCacheRequest|BenchmarkOPTCompute|BenchmarkFlatPredict|BenchmarkNodePredict|BenchmarkPredictBatch|BenchmarkPredictMatrix|BenchmarkPredictionServerRoundTrip|BenchmarkPredictionServerSingleRow|BenchmarkRouterEnqueueFlush|BenchmarkPickVictim|BenchmarkEvictCacheRequest|BenchmarkGDSFRequest|BenchmarkOGDRequest|BenchmarkOGDLearnerUpdate|BenchmarkDriftObserve|BenchmarkDriftMaxScore)$'
 
 echo "== go test -bench (this takes a few minutes)"
-go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" -cpu 1,4 . ./internal/gbdt ./internal/fleet ./internal/evict ./internal/policy | tee "$raw"
+go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" -cpu 1,4 . ./internal/gbdt ./internal/fleet ./internal/evict ./internal/policy ./internal/policy/ogd ./internal/drift | tee "$raw"
 
 # Fleet saturation comparison: the classic one-row-per-RTT sync client
 # against one shard vs the pipelined router against three shards, same

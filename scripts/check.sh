@@ -36,7 +36,8 @@ step "go test -race (concurrent packages)"
 go test -race ./internal/server ./internal/fleet ./internal/faultnet \
     ./internal/tiered ./internal/sim ./internal/par ./internal/pq \
     ./internal/gbdt ./internal/features ./internal/core ./internal/opt \
-    ./internal/mcf ./internal/obs ./internal/evict
+    ./internal/mcf ./internal/obs ./internal/evict \
+    ./internal/policy/ogd ./internal/drift
 
 # Coverage floors on the serving path: the chaos/fuzz suites are the
 # main guard on these packages, so a silent drop in what they exercise
@@ -59,6 +60,8 @@ cover_floor ./internal/server 85
 cover_floor ./internal/fleet 80
 cover_floor ./internal/faultnet 70
 cover_floor ./internal/evict 80
+cover_floor ./internal/policy/ogd 80
+cover_floor ./internal/drift 80
 
 # Alloc-budget regression gate over the pinned hot-path benchmarks. The
 # budgets in testdata/alloc_budgets.txt are exact current figures; any
@@ -80,8 +83,8 @@ fi
 
 step "alloc budgets"
 go test -run '^$' \
-    -bench '^(BenchmarkPredict|BenchmarkFlatPredict|BenchmarkPredictBatch|BenchmarkPredictMatrix|BenchmarkRunRequestLoop|BenchmarkRequestObs|BenchmarkRouterEnqueueFlush|BenchmarkPickVictim|BenchmarkGDSFRequest)$' \
-    -benchmem -benchtime 200x ./internal/gbdt ./internal/sim ./internal/obs ./internal/fleet ./internal/evict ./internal/policy \
+    -bench '^(BenchmarkPredict|BenchmarkFlatPredict|BenchmarkPredictBatch|BenchmarkPredictMatrix|BenchmarkRunRequestLoop|BenchmarkRequestObs|BenchmarkRouterEnqueueFlush|BenchmarkPickVictim|BenchmarkGDSFRequest|BenchmarkOGDRequest)$' \
+    -benchmem -benchtime 200x ./internal/gbdt ./internal/sim ./internal/obs ./internal/fleet ./internal/evict ./internal/policy ./internal/policy/ogd \
     | awk -v budgets=testdata/alloc_budgets.txt -f scripts/allocgate.awk
 
 # Short fuzz smoke over the frame codec and the model parser. The
